@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestParseWeights(t *testing.T) {
+	got, err := parseWeights("1, 10,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 10, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseWeightsErrors(t *testing.T) {
+	for _, bad := range []string{"", "a", "1,,2", "0", "-1", "1,-2"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) did not fail", bad)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package sfsched_test
+
+// Runnable godoc examples for the public facade. Output is deterministic
+// (simulated time, seeded RNG), so all examples are verified by go test.
+
+import (
+	"fmt"
+
+	"sfsched"
+)
+
+// The paper's running example: weights 1:10 on a dual-processor machine are
+// infeasible (the heavy thread can use at most one CPU); the readjustment
+// algorithm caps it and SFS delivers the capped shares.
+func ExampleNewSFS() {
+	m := sfsched.NewMachine(sfsched.MachineConfig{
+		CPUs:      2,
+		Scheduler: sfsched.NewSFS(2),
+		Seed:      1,
+	})
+	light := m.Spawn(sfsched.SpawnConfig{Name: "light", Weight: 1, Behavior: sfsched.Inf()})
+	heavy := m.Spawn(sfsched.SpawnConfig{Name: "heavy", Weight: 10, Behavior: sfsched.Inf()})
+	m.Run(sfsched.Time(10 * sfsched.Second))
+	fmt.Printf("light %vs, heavy %vs\n",
+		light.Thread().Service.Seconds(), heavy.Thread().Service.Seconds())
+	// Output: light 10s, heavy 10s
+}
+
+// GMS is the idealized fluid allocation every practical scheduler is
+// measured against: here three threads with weights 2:1:1 on two CPUs.
+func ExampleNewGMS() {
+	fluid := sfsched.NewGMS(2)
+	a := &sfsched.Thread{ID: 1, Weight: 2}
+	b := &sfsched.Thread{ID: 2, Weight: 1}
+	c := &sfsched.Thread{ID: 3, Weight: 1}
+	fluid.Add(a, 0)
+	fluid.Add(b, 0)
+	fluid.Add(c, 0)
+	fluid.Advance(sfsched.Time(8 * sfsched.Second))
+	fmt.Printf("a=%.0fs b=%.0fs c=%.0fs\n", fluid.Service(a), fluid.Service(b), fluid.Service(c))
+	// Output: a=8s b=4s c=4s
+}
+
+// The hierarchical extension: two classes at 3:1 on two CPUs, each with one
+// compute-bound thread; class shares cap at one CPU per thread.
+func ExampleNewHierarchical() {
+	h := sfsched.NewHierarchical(2, 0)
+	batch := h.MustAddClass("batch", 3)
+	best := h.MustAddClass("besteffort", 1)
+	m := sfsched.NewMachine(sfsched.MachineConfig{CPUs: 2, Scheduler: h, Seed: 1})
+	a := m.Spawn(sfsched.SpawnConfig{Name: "a", Behavior: sfsched.Inf()})
+	h.Assign(a.Thread(), batch)
+	b := m.Spawn(sfsched.SpawnConfig{Name: "b", Behavior: sfsched.Inf()})
+	h.Assign(b.Thread(), best)
+	m.Run(sfsched.Time(10 * sfsched.Second))
+	fmt.Printf("batch=%.0fs besteffort=%.0fs\n", batch.Service(), best.Service())
+	// Output: batch=10s besteffort=10s
+}
+
+// Weights may change at any time, like the paper's setweight system call.
+func ExampleMachine_SetWeight() {
+	m := sfsched.NewMachine(sfsched.MachineConfig{
+		CPUs:      1,
+		Scheduler: sfsched.NewSFS(1, sfsched.WithQuantum(10*sfsched.Millisecond)),
+		Seed:      1,
+	})
+	a := m.Spawn(sfsched.SpawnConfig{Name: "a", Weight: 1, Behavior: sfsched.Inf()})
+	b := m.Spawn(sfsched.SpawnConfig{Name: "b", Weight: 1, Behavior: sfsched.Inf()})
+	m.At(sfsched.Time(10*sfsched.Second), func(now sfsched.Time) {
+		if err := m.SetWeight(a, 3); err != nil {
+			fmt.Println(err)
+		}
+	})
+	m.Run(sfsched.Time(30 * sfsched.Second))
+	fmt.Printf("a=%.0fs b=%.0fs\n",
+		a.Thread().Service.Seconds(), b.Thread().Service.Seconds())
+	// Output: a=20s b=10s
+}

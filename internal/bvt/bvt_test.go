@@ -1,0 +1,165 @@
+package bvt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sfsched/internal/sched"
+	"sfsched/internal/sfq"
+	"sfsched/internal/simtime"
+	"sfsched/internal/xrand"
+)
+
+func mkThread(id int, w float64) *sched.Thread {
+	return &sched.Thread{ID: id, Weight: w, Phi: w,
+		CPU: sched.NoCPU, LastCPU: sched.NoCPU, State: sched.Runnable}
+}
+
+func TestZeroWarpMatchesSFQ(t *testing.T) {
+	// "BVT reduces to SFQ when the latency parameter is set to zero"
+	// (§1.2): identical pick traces on identical scripted workloads.
+	trace := func(s sched.Scheduler) []int {
+		threads := []*sched.Thread{mkThread(1, 1), mkThread(2, 5), mkThread(3, 2)}
+		now := simtime.Time(0)
+		for _, th := range threads {
+			if err := s.Add(th, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := xrand.New(3)
+		var ids []int
+		for i := 0; i < 1000; i++ {
+			th := s.Pick(0, now)
+			th.CPU = 0
+			q := simtime.Duration(1+r.Intn(100)) * simtime.Millisecond
+			now = now.Add(q)
+			s.Charge(th, q, now)
+			th.CPU = sched.NoCPU
+			ids = append(ids, th.ID)
+		}
+		return ids
+	}
+	b := trace(New(1))
+	q := trace(sfq.New(1))
+	for i := range b {
+		if b[i] != q[i] {
+			t.Fatalf("decision %d: BVT=%d SFQ=%d", i, b[i], q[i])
+		}
+	}
+}
+
+func TestWarpGivesLatencyAdvantage(t *testing.T) {
+	s := New(1)
+	a := mkThread(1, 1)
+	b := mkThread(2, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Equal virtual times; warp makes b effectively earlier.
+	s.SetWarp(b, 0.5)
+	if got := s.Pick(0, 0); got != b {
+		t.Fatalf("Pick = %v, want warped thread", got)
+	}
+	if !s.Less(b, a) {
+		t.Fatal("Less must honour warp")
+	}
+}
+
+func TestProportionalSharing(t *testing.T) {
+	s := New(1, WithQuantum(10*simtime.Millisecond))
+	a := mkThread(1, 3)
+	b := mkThread(2, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := simtime.Time(0)
+	for i := 0; i < 4000; i++ {
+		th := s.Pick(0, now)
+		th.CPU = 0
+		now = now.Add(10 * simtime.Millisecond)
+		s.Charge(th, 10*simtime.Millisecond, now)
+		th.CPU = sched.NoCPU
+	}
+	ratio := a.Service.Seconds() / b.Service.Seconds()
+	if math.Abs(ratio-3) > 0.1 {
+		t.Fatalf("ratio %.3f, want ~3", ratio)
+	}
+}
+
+func TestReadjustmentOption(t *testing.T) {
+	s := New(2, WithReadjustment())
+	a := mkThread(1, 1)
+	b := mkThread(2, 10)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Phi != 1 {
+		t.Fatalf("φ = %g, want 1", b.Phi)
+	}
+	if s.Name() != "BVT+readjust" {
+		t.Fatalf("name %q", s.Name())
+	}
+}
+
+func TestWakeupCatchesUpToSVT(t *testing.T) {
+	s := New(1)
+	a := mkThread(1, 1)
+	b := mkThread(2, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Charge(b, 100*simtime.Millisecond, 0)
+	b.State = sched.Blocked
+	if err := s.Remove(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Charge(a, 100*simtime.Millisecond, 0)
+	}
+	b.State = sched.Runnable
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Start < 4.9 {
+		t.Fatalf("woken AVT %g, want ~5 (SVT)", b.Start)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New(2)
+	a := mkThread(1, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(a, 0); !errors.Is(err, sched.ErrAlreadyManaged) {
+		t.Fatalf("double add: %v", err)
+	}
+	if err := s.Remove(mkThread(9, 1), 0); !errors.Is(err, sched.ErrNotManaged) {
+		t.Fatalf("remove unmanaged: %v", err)
+	}
+	if err := s.Add(mkThread(2, -2), 0); !errors.Is(err, sched.ErrBadWeight) {
+		t.Fatalf("bad weight: %v", err)
+	}
+	if err := s.SetWeight(a, 0, 0); !errors.Is(err, sched.ErrBadWeight) {
+		t.Fatalf("bad setweight: %v", err)
+	}
+	if s.NumCPU() != 2 || s.Runnable() != 1 || len(s.Threads()) != 1 {
+		t.Fatal("accessors")
+	}
+	if got := s.Timeslice(a, 0); got != 200*simtime.Millisecond {
+		t.Fatalf("timeslice %v", got)
+	}
+}

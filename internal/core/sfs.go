@@ -1,0 +1,619 @@
+// Package core implements Surplus Fair Scheduling (SFS), the paper's primary
+// contribution (§2.3), together with the kernel implementation techniques of
+// §3: the three sorted run queues, the bounded-examination scheduling
+// heuristic, fixed-point tag arithmetic with wraparound rebasing, and the
+// weight readjustment hook invoked whenever the runnable set changes.
+//
+// # Algorithm
+//
+// Every thread carries a start tag S_i and finish tag F_i. When a thread
+// runs for q units its finish tag becomes F_i = S_i + q/φ_i, where φ_i is
+// the instantaneous weight computed by the readjustment algorithm
+// (internal/readjust via internal/phi), and its start tag advances to F_i.
+// The system's virtual time v is the minimum start tag over runnable threads
+// (the finish tag of the last thread to run when the machine idles). The
+// surplus of a thread is
+//
+//	α_i = φ_i · (S_i − v)
+//
+// which approximates the extra service the thread has received compared with
+// the idealized GMS fluid schedule (internal/gms). At each scheduling
+// instance SFS runs the thread with the least surplus. On a uniprocessor the
+// thread with the least surplus is the thread with the least start tag, so
+// SFS reduces to SFQ; TestSFSReducesToSFQOnUniprocessor checks trace
+// equality.
+//
+// # Extensions
+//
+// WithAffinity enables the processor-affinity extension sketched in the
+// paper's future-work section (§5): among threads whose surplus is within a
+// configurable margin of the minimum, the scheduler prefers one that last ran
+// on the dispatching CPU, trading a bounded amount of short-term fairness for
+// cache locality. WithoutReadjustment disables weight readjustment for
+// ablation experiments that isolate its contribution.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sfsched/internal/fixedpoint"
+	"sfsched/internal/phi"
+	"sfsched/internal/runqueue"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+// DefaultQuantum is the maximum quantum used throughout the paper's
+// evaluation (§4.1).
+const DefaultQuantum = 200 * simtime.Millisecond
+
+// Stats counts scheduler-internal events for the overhead experiments
+// (Table 1, Figure 7) and the ablation benchmarks.
+type Stats struct {
+	Decisions     int64 // Pick calls that returned a thread
+	Readjustments int64 // weight readjustment passes that changed some φ
+	SurplusSweeps int64 // full surplus recomputations + re-sorts
+	Rebases       int64 // fixed-point tag wraparound rebases
+	HeuristicHits int64 // heuristic picks (WithHeuristic only)
+	Migrations    int64 // picks where the thread last ran on a different CPU
+}
+
+// SFS is a surplus fair scheduler for a symmetric multiprocessor. It is not
+// safe for concurrent use; the simulated machine serializes access, exactly
+// as the kernel's run-queue lock does.
+type SFS struct {
+	p       int
+	quantum simtime.Duration
+
+	weights   *phi.Tracker                  // queue 1: descending weight + φ values
+	byStart   *runqueue.List[*sched.Thread] // queue 2: ascending start tag
+	bySurplus *runqueue.List[*sched.Thread] // queue 3: ascending stored surplus
+
+	v          float64 // virtual time
+	lastFinish float64 // finish tag of the thread that ran last
+
+	useReadjust bool
+
+	// Heuristic mode (§3.2): examine only the first k threads of each
+	// queue; refresh stored surpluses every updatePeriod decisions.
+	k            int
+	updatePeriod int64
+	sinceUpdate  int64
+
+	// Fixed-point mode (§3.2): tags computed in scaled integers.
+	fixed        bool
+	scale        fixedpoint.Scale
+	fxV          fixedpoint.Value
+	fxLastFinish fixedpoint.Value
+	rebaseThresh fixedpoint.Value
+
+	affinityMargin float64 // <0 disables the affinity extension
+
+	stats Stats
+}
+
+// Option configures an SFS instance.
+type Option func(*SFS)
+
+// WithQuantum sets the maximum quantum granted per dispatch.
+func WithQuantum(q simtime.Duration) Option {
+	return func(s *SFS) { s.quantum = q }
+}
+
+// WithHeuristic enables the bounded-examination heuristic, inspecting the
+// first k threads of each of the three queues per decision (k > 0). The
+// paper finds k=20 gives >99% accuracy for up to 400 runnable threads on
+// four processors (Figure 3).
+func WithHeuristic(k int) Option {
+	return func(s *SFS) { s.k = k }
+}
+
+// WithUpdatePeriod sets how many decisions may elapse between full surplus
+// refreshes in heuristic mode ("infrequent updates and sorting are still
+// required to maintain a high accuracy of the heuristic", §3.2).
+func WithUpdatePeriod(n int64) Option {
+	return func(s *SFS) { s.updatePeriod = n }
+}
+
+// WithFixedPoint switches tag arithmetic to scaled integers with factor
+// 10^digits, reproducing the kernel implementation (the paper found 4 digits
+// adequate).
+func WithFixedPoint(digits int) Option {
+	return func(s *SFS) {
+		s.fixed = true
+		s.scale = fixedpoint.MustScale(digits)
+	}
+}
+
+// WithRebaseThreshold overrides the tag magnitude that triggers a wraparound
+// rebase; tests use small thresholds to exercise the rebase path.
+func WithRebaseThreshold(v fixedpoint.Value) Option {
+	return func(s *SFS) { s.rebaseThresh = v }
+}
+
+// WithAffinity enables the processor-affinity extension: among threads whose
+// surplus exceeds the minimum by at most margin, prefer one whose last CPU is
+// the dispatching CPU. margin is in surplus units (weighted virtual time,
+// i.e. seconds).
+func WithAffinity(margin float64) Option {
+	return func(s *SFS) { s.affinityMargin = margin }
+}
+
+// WithoutReadjustment disables the weight readjustment algorithm (φ_i = w_i
+// always); used by ablation experiments only.
+func WithoutReadjustment() Option {
+	return func(s *SFS) { s.useReadjust = false }
+}
+
+// New returns an SFS scheduler for p processors. It panics if p < 1; the
+// processor count comes from static machine configuration, never from user
+// input.
+func New(p int, opts ...Option) *SFS {
+	if p < 1 {
+		panic(fmt.Sprintf("core: invalid processor count %d", p))
+	}
+	s := &SFS{
+		p:              p,
+		quantum:        DefaultQuantum,
+		useReadjust:    true,
+		updatePeriod:   50,
+		rebaseThresh:   fixedpoint.WrapThreshold,
+		affinityMargin: -1,
+	}
+	s.byStart = runqueue.NewList(func(a, b *sched.Thread) bool {
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.ID < b.ID
+	})
+	// Equal surpluses tie-break by descending weight then ID, mirroring
+	// SFQ's tie order so that the uniprocessor reduction (SFS ≡ SFQ,
+	// §2.3) holds decision-for-decision, not just in aggregate.
+	s.bySurplus = runqueue.NewList(func(a, b *sched.Thread) bool {
+		if a.Surplus != b.Surplus {
+			return a.Surplus < b.Surplus
+		}
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		return a.ID < b.ID
+	})
+	for _, o := range opts {
+		o(s)
+	}
+	s.weights = phi.NewTracker(p, s.useReadjust)
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *SFS) Name() string {
+	if s.k > 0 {
+		return fmt.Sprintf("SFS(k=%d)", s.k)
+	}
+	return "SFS"
+}
+
+// NumCPU implements sched.Scheduler.
+func (s *SFS) NumCPU() int { return s.p }
+
+// Runnable implements sched.Scheduler.
+func (s *SFS) Runnable() int { return s.byStart.Len() }
+
+// VirtualTime returns the scheduler's current virtual time v (minimum start
+// tag over runnable threads).
+func (s *SFS) VirtualTime() float64 { return s.v }
+
+// Stats returns a snapshot of internal event counters.
+func (s *SFS) Stats() Stats {
+	st := s.stats
+	st.Readjustments = s.weights.Passes()
+	return st
+}
+
+// Quantum returns the configured maximum quantum.
+func (s *SFS) Quantum() simtime.Duration { return s.quantum }
+
+// SetCapacity changes the CPU capacity the feasibility constraint is
+// evaluated against. A flat scheduler's capacity is its processor count (the
+// default); the hierarchical scheduler (internal/hier) sets each class's
+// inner capacity to the fractional number of CPUs the class is entitled to,
+// so that intra-class readjustment caps threads at one *physical* CPU out of
+// the class's allocation.
+func (s *SFS) SetCapacity(c float64) {
+	if s.weights.SetCapacity(c) {
+		s.refreshSurpluses()
+	}
+}
+
+// Add implements sched.Scheduler. A newly arriving thread receives start tag
+// v; a newly woken thread receives max(F_i, v), which prevents a thread from
+// banking credit while asleep and starving others on wakeup (§2.3).
+func (s *SFS) Add(t *sched.Thread, now simtime.Time) error {
+	if !sched.ValidWeight(t.Weight) {
+		return fmt.Errorf("%w: %g", sched.ErrBadWeight, t.Weight)
+	}
+	if s.byStart.Contains(t) {
+		return fmt.Errorf("%w: %v", sched.ErrAlreadyManaged, t)
+	}
+	if s.fixed {
+		if t.FxFinish > s.fxV {
+			t.FxStart = t.FxFinish
+		} else {
+			t.FxStart = s.fxV
+		}
+		t.Start = s.scale.Float(t.FxStart)
+	} else {
+		t.Start = math.Max(t.Finish, s.v)
+	}
+	changed := s.weights.Add(t)
+	s.byStart.Insert(t)
+	// Adding a thread cannot lower v (its start tag is >= v), so only φ
+	// changes require refreshing other threads' surpluses.
+	s.recomputeV()
+	s.storeSurplus(t)
+	s.bySurplus.Insert(t)
+	if changed {
+		s.refreshSurpluses()
+	}
+	return nil
+}
+
+// Remove implements sched.Scheduler; called when a thread blocks or exits.
+func (s *SFS) Remove(t *sched.Thread, now simtime.Time) error {
+	if !s.byStart.Contains(t) {
+		return fmt.Errorf("%w: %v", sched.ErrNotManaged, t)
+	}
+	s.byStart.Remove(t)
+	s.bySurplus.Remove(t)
+	changed := s.weights.Remove(t)
+	vChanged := s.recomputeV()
+	if changed || vChanged {
+		s.refreshSurpluses()
+	}
+	return nil
+}
+
+// Charge implements sched.Scheduler: F_i = S_i + q/φ_i, S_i = F_i. The
+// quantum length q is needed only now, after the quantum has ended, which is
+// what lets SFS handle variable-length quanta (§2.3).
+func (s *SFS) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+	if ran < 0 {
+		panic("core: negative charge")
+	}
+	t.Service += ran
+	if s.fixed {
+		phiFx := s.scale.FromFloat(t.Phi)
+		t.FxFinish = t.FxStart + s.scale.DivValue(s.scale.FromInt(int64(ran)), phiFx)
+		t.FxStart = t.FxFinish
+		s.fxLastFinish = t.FxFinish
+		t.Start = s.scale.Float(t.FxStart)
+		t.Finish = s.scale.Float(t.FxFinish)
+		s.lastFinish = t.Finish
+		if fixedpoint.NeedsRebase(t.FxFinish) || t.FxFinish > s.rebaseThresh {
+			s.rebaseTags()
+		}
+	} else {
+		t.Finish = t.Start + ran.Seconds()/t.Phi
+		t.Start = t.Finish
+		s.lastFinish = t.Finish
+	}
+	if s.byStart.Contains(t) {
+		s.byStart.Fix(t)
+	}
+	vChanged := s.recomputeV()
+	refresh := vChanged
+	if s.k > 0 {
+		// Heuristic mode: defer the global refresh to the periodic
+		// update instead of paying it on every virtual-time change.
+		refresh = vChanged && s.dueForUpdate()
+	}
+	if refresh {
+		s.refreshSurpluses()
+	} else if s.byStart.Contains(t) {
+		s.storeSurplus(t)
+		s.bySurplus.Fix(t)
+	}
+}
+
+// dueForUpdate reports (and consumes) whether a periodic surplus refresh is
+// due in heuristic mode.
+func (s *SFS) dueForUpdate() bool {
+	s.sinceUpdate++
+	if s.sinceUpdate >= s.updatePeriod {
+		s.sinceUpdate = 0
+		return true
+	}
+	return false
+}
+
+// Timeslice implements sched.Scheduler: SFS grants a fixed maximum quantum;
+// threads may relinquish early by blocking.
+func (s *SFS) Timeslice(t *sched.Thread, now simtime.Time) simtime.Duration {
+	return s.quantum
+}
+
+// SetWeight implements sched.Scheduler; weights may be changed on the fly,
+// as with the paper's setweight system call.
+func (s *SFS) SetWeight(t *sched.Thread, w float64, now simtime.Time) error {
+	if !sched.ValidWeight(w) {
+		return fmt.Errorf("%w: %g", sched.ErrBadWeight, w)
+	}
+	if !s.byStart.Contains(t) {
+		// Not runnable right now; the new weight takes effect on Add.
+		t.Weight = w
+		t.Phi = w
+		return nil
+	}
+	s.weights.UpdateWeight(t, w)
+	// φ changed for t (and possibly others): refresh everything.
+	s.refreshSurpluses()
+	return nil
+}
+
+// Pick implements sched.Scheduler.
+func (s *SFS) Pick(cpu int, now simtime.Time) *sched.Thread {
+	var t *sched.Thread
+	if s.k > 0 {
+		t = s.pickHeuristic(cpu)
+	} else {
+		t = s.pickExact(cpu)
+	}
+	if t != nil {
+		s.stats.Decisions++
+		t.Decisions++
+		if t.LastCPU != sched.NoCPU && t.LastCPU != cpu {
+			s.stats.Migrations++
+		}
+	}
+	return t
+}
+
+// pickExact returns the non-running thread with the least stored surplus;
+// stored surpluses are always fresh in exact mode. The affinity extension
+// may promote a near-tied thread that last ran on this CPU.
+func (s *SFS) pickExact(cpu int) *sched.Thread {
+	var best *sched.Thread
+	s.bySurplus.Each(func(t *sched.Thread) bool {
+		if t.Running() {
+			return true
+		}
+		if best == nil {
+			best = t
+			// Without affinity (or with it already satisfied) the
+			// first non-running thread is the answer.
+			return !(s.affinityMargin < 0 || best.LastCPU == cpu)
+		}
+		// Affinity scan: keep looking while within the margin of the
+		// truly least-surplus candidate.
+		if t.Surplus-best.Surplus <= s.affinityMargin {
+			if t.LastCPU == cpu {
+				best = t
+				return false
+			}
+			return true
+		}
+		return false
+	})
+	return best
+}
+
+// pickHeuristic implements the §3.2 heuristic: the thread with minimum
+// surplus typically has a small start tag, a small weight, or a small
+// surplus at the previous update, so examining the first k entries of each
+// of the three queues (the weight queue scanned backwards) and computing
+// fresh surpluses for just those candidates finds it with high probability.
+func (s *SFS) pickHeuristic(cpu int) *sched.Thread {
+	var best *sched.Thread
+	var bestSurplus float64
+	consider := func(t *sched.Thread) {
+		if t.Running() {
+			return
+		}
+		fresh := t.Phi * (t.Start - s.v)
+		better := best == nil || fresh < bestSurplus ||
+			(fresh == bestSurplus && (t.Weight > best.Weight ||
+				(t.Weight == best.Weight && t.ID < best.ID)))
+		if better {
+			best = t
+			bestSurplus = fresh
+		}
+	}
+	n := 0
+	s.byStart.Each(func(t *sched.Thread) bool {
+		n++
+		consider(t)
+		return n < s.k
+	})
+	n = 0
+	s.bySurplus.Each(func(t *sched.Thread) bool {
+		n++
+		consider(t)
+		return n < s.k
+	})
+	n = 0
+	s.weights.EachReverse(func(t *sched.Thread) bool {
+		n++
+		consider(t)
+		return n < s.k
+	})
+	if best == nil {
+		// All candidates were running; stay work-conserving by falling
+		// back to a full scan.
+		s.byStart.Each(func(t *sched.Thread) bool {
+			consider(t)
+			return best == nil
+		})
+	}
+	if best != nil {
+		s.stats.HeuristicHits++
+	}
+	return best
+}
+
+// MinSurplusAll returns the minimum fresh surplus over all runnable threads
+// including those currently running, or 0 when nothing is runnable. The
+// hierarchical scheduler uses it to detect forced picks: an eligible thread
+// whose surplus exceeds this minimum is only being offered because the truly
+// deserving thread already occupies a CPU.
+func (s *SFS) MinSurplusAll() float64 {
+	min := math.Inf(1)
+	s.byStart.Each(func(t *sched.Thread) bool {
+		if fresh := t.Phi * (t.Start - s.v); fresh < min {
+			min = fresh
+		}
+		return true
+	})
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// ExactMinSurplus returns the runnable non-running thread with the smallest
+// fresh surplus, scanning every thread. It exists for the Figure 3 accuracy
+// experiment, which compares the heuristic's pick against the true minimum.
+func (s *SFS) ExactMinSurplus() (*sched.Thread, float64) {
+	var best *sched.Thread
+	var bestSurplus float64
+	s.byStart.Each(func(t *sched.Thread) bool {
+		if t.Running() {
+			return true
+		}
+		fresh := t.Phi * (t.Start - s.v)
+		if best == nil || fresh < bestSurplus {
+			best = t
+			bestSurplus = fresh
+		}
+		return true
+	})
+	return best, bestSurplus
+}
+
+// Less implements sched.Scheduler: a thread with smaller fresh surplus is
+// preferred. The machine uses this for wakeup preemption.
+func (s *SFS) Less(a, b *sched.Thread) bool {
+	return a.Phi*(a.Start-s.v) < b.Phi*(b.Start-s.v)
+}
+
+// Threads returns the runnable threads in ascending start-tag order (tests
+// and metrics).
+func (s *SFS) Threads() []*sched.Thread { return s.byStart.Slice() }
+
+// CheckInvariants validates the paper's structural invariants; tests call it
+// after every operation in paranoia mode. The invariants: all three queues
+// agree on membership and remain sorted; v equals the minimum start tag; all
+// fresh surpluses are non-negative; and at least one runnable thread has
+// zero surplus (the thread holding the minimum start tag, §2.3).
+func (s *SFS) CheckInvariants() error {
+	if err := s.weights.Validate(); err != nil {
+		return err
+	}
+	if err := s.byStart.Validate(); err != nil {
+		return err
+	}
+	if err := s.bySurplus.Validate(); err != nil {
+		return err
+	}
+	if s.weights.Len() != s.byStart.Len() || s.byStart.Len() != s.bySurplus.Len() {
+		return fmt.Errorf("core: queue membership mismatch %d/%d/%d",
+			s.weights.Len(), s.byStart.Len(), s.bySurplus.Len())
+	}
+	if s.byStart.Len() == 0 {
+		return nil
+	}
+	head, _ := s.byStart.Head()
+	if head.Start != s.v {
+		return fmt.Errorf("core: v=%g but min start tag is %g", s.v, head.Start)
+	}
+	zero := false
+	var err error
+	s.byStart.Each(func(t *sched.Thread) bool {
+		fresh := t.Phi * (t.Start - s.v)
+		if fresh < 0 {
+			err = fmt.Errorf("core: negative surplus %g for %v", fresh, t)
+			return false
+		}
+		if fresh == 0 {
+			zero = true
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if !zero {
+		return fmt.Errorf("core: no thread with zero surplus (v=%g)", s.v)
+	}
+	return nil
+}
+
+// recomputeV updates the virtual time and reports whether it changed. When
+// no thread is runnable, v takes the finish tag of the thread that ran last
+// (§2.3).
+func (s *SFS) recomputeV() bool {
+	var nv float64
+	if head, ok := s.byStart.Head(); ok {
+		nv = head.Start
+		if s.fixed {
+			s.fxV = head.FxStart
+		}
+	} else {
+		nv = s.lastFinish
+		if s.fixed {
+			s.fxV = s.fxLastFinish
+		}
+	}
+	if nv == s.v {
+		return false
+	}
+	s.v = nv
+	return true
+}
+
+// storeSurplus recomputes and stores t's surplus against the current v.
+func (s *SFS) storeSurplus(t *sched.Thread) {
+	if s.fixed {
+		phiFx := s.scale.FromFloat(t.Phi)
+		t.FxSurplus = s.scale.MulValue(phiFx, t.FxStart-s.fxV)
+		t.Surplus = s.scale.Float(t.FxSurplus)
+		return
+	}
+	t.Surplus = t.Phi * (t.Start - s.v)
+}
+
+// refreshSurpluses recomputes every stored surplus and re-sorts the surplus
+// queue with insertion sort (cheap on the mostly-sorted queue, §3.2).
+func (s *SFS) refreshSurpluses() {
+	s.byStart.Each(func(t *sched.Thread) bool {
+		s.storeSurplus(t)
+		return true
+	})
+	s.bySurplus.ReSort()
+	s.stats.SurplusSweeps++
+}
+
+// rebaseTags shifts all tags by the minimum start tag and resets the virtual
+// time, the paper's wraparound handling (§3.2). Differences between tags —
+// the only inputs to scheduling decisions — are preserved.
+func (s *SFS) rebaseTags() {
+	head, ok := s.byStart.Head()
+	if !ok {
+		s.fxLastFinish = 0
+		s.fxV = 0
+		s.lastFinish = 0
+		s.v = 0
+		return
+	}
+	base := head.FxStart
+	s.byStart.Each(func(t *sched.Thread) bool {
+		fixedpoint.Rebase(base, &t.FxStart, &t.FxFinish)
+		t.Start = s.scale.Float(t.FxStart)
+		t.Finish = s.scale.Float(t.FxFinish)
+		return true
+	})
+	fixedpoint.Rebase(base, &s.fxV, &s.fxLastFinish)
+	s.v = s.scale.Float(s.fxV)
+	s.lastFinish = s.scale.Float(s.fxLastFinish)
+	s.stats.Rebases++
+}

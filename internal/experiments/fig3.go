@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sfsched/internal/core"
+	"sfsched/internal/machine"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+	"sfsched/internal/workload"
+	"sfsched/internal/xrand"
+)
+
+// Fig3Params configures the heuristic-accuracy experiment (Figure 3): a
+// quad-processor machine with many runnable threads of random weights, where
+// each scheduling decision made by the bounded-examination heuristic is
+// compared against the exact minimum-surplus thread.
+type Fig3Params struct {
+	CPUs    int
+	Threads []int // runnable-thread counts to sweep (paper: 100..400)
+	Ks      []int // candidates examined per queue (paper: x-axis 0..100)
+	Quantum simtime.Duration
+	Horizon simtime.Time
+	Seed    uint64
+}
+
+// Fig3Defaults returns the paper's Figure 3 setup.
+func Fig3Defaults() Fig3Params {
+	return Fig3Params{
+		CPUs:    4,
+		Threads: []int{100, 200, 300, 400},
+		Ks:      []int{1, 2, 5, 10, 20, 40, 60, 80, 100},
+		Quantum: 10 * simtime.Millisecond,
+		Horizon: simtime.Time(10 * simtime.Second),
+		Seed:    7,
+	}
+}
+
+// Fig3Result holds heuristic accuracy (percent of decisions that picked a
+// thread tied with the true minimum surplus) per thread count per k.
+type Fig3Result struct {
+	Params   Fig3Params
+	Accuracy map[int][]float64 // thread count -> accuracy aligned with Params.Ks
+}
+
+// accuracyProbe wraps SFS, comparing every heuristic pick against the exact
+// minimum surplus.
+type accuracyProbe struct {
+	*core.SFS
+	hits, total int64
+}
+
+// Pick implements sched.Scheduler, recording heuristic accuracy.
+func (p *accuracyProbe) Pick(cpu int, now simtime.Time) *sched.Thread {
+	_, exact := p.SFS.ExactMinSurplus()
+	t := p.SFS.Pick(cpu, now)
+	if t != nil {
+		p.total++
+		fresh := t.Phi * (t.Start - p.VirtualTime())
+		if fresh <= exact+1e-12+1e-9*math.Abs(exact) {
+			p.hits++
+		}
+	}
+	return t
+}
+
+func (p *accuracyProbe) accuracy() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.hits) / float64(p.total)
+}
+
+// Fig3 runs the heuristic-accuracy sweep.
+func Fig3(p Fig3Params) Fig3Result {
+	res := Fig3Result{Params: p, Accuracy: make(map[int][]float64)}
+	for _, n := range p.Threads {
+		accs := make([]float64, 0, len(p.Ks))
+		for _, k := range p.Ks {
+			accs = append(accs, fig3Run(p, n, k))
+		}
+		res.Accuracy[n] = accs
+	}
+	return res
+}
+
+// fig3Run measures accuracy for one (thread count, k) cell.
+func fig3Run(p Fig3Params, n, k int) float64 {
+	probe := &accuracyProbe{SFS: core.New(p.CPUs,
+		core.WithQuantum(p.Quantum),
+		core.WithHeuristic(k))}
+	m := machine.New(machine.Config{
+		CPUs:      p.CPUs,
+		Scheduler: probe,
+		Seed:      p.Seed,
+	})
+	// Weight mix: random weights in [1, 50]; 70% compute-bound, 30%
+	// blocking periodically so that start tags, weights and stale
+	// surpluses diverge — the regime the heuristic must cope with.
+	wr := xrand.New(p.Seed ^ uint64(n)<<16 ^ uint64(k))
+	for i := 0; i < n; i++ {
+		var beh machine.Behavior
+		if wr.Float64() < 0.7 {
+			beh = workload.Inf()
+		} else {
+			burst := simtime.Duration(20+wr.Intn(60)) * simtime.Millisecond
+			sleep := simtime.Duration(5+wr.Intn(45)) * simtime.Millisecond
+			beh = workload.Periodic(burst, sleep)
+		}
+		m.Spawn(machine.SpawnConfig{
+			Name:     fmt.Sprintf("t%d", i),
+			Weight:   float64(1 + wr.Intn(50)),
+			Behavior: beh,
+		})
+	}
+	m.Run(p.Horizon)
+	return probe.accuracy()
+}
+
+// Render formats the result as the paper's accuracy table.
+func (r Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: heuristic accuracy (%%) on %d CPUs\n", r.Params.CPUs)
+	fmt.Fprintf(&b, "  %-10s", "k")
+	for _, k := range r.Params.Ks {
+		fmt.Fprintf(&b, "%7d", k)
+	}
+	b.WriteByte('\n')
+	for _, n := range r.Params.Threads {
+		fmt.Fprintf(&b, "  %-10s", fmt.Sprintf("n=%d", n))
+		for _, a := range r.Accuracy[n] {
+			fmt.Fprintf(&b, "%7.2f", a)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

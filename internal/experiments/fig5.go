@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sfsched/internal/machine"
+	"sfsched/internal/metrics"
+	"sfsched/internal/simtime"
+	"sfsched/internal/workload"
+)
+
+// Fig5Params configures the short-jobs experiment (Figure 5, Example 2): one
+// Inf task with weight 20, twenty Inf tasks with weight 1, and a back-to-back
+// stream of 300 ms short tasks with weight 5. Weights are feasible at all
+// times (readjustment never modifies them), yet plain SFQ misallocates.
+type Fig5Params struct {
+	Kind        Kind
+	CPUs        int
+	Quantum     simtime.Duration
+	Heavy       float64          // weight of T1
+	Group       int              // number of weight-1 background tasks
+	ShortWeight float64          // weight of each short task
+	ShortLen    simtime.Duration // CPU demand of each short task
+	Horizon     simtime.Time
+	SampleEvery simtime.Duration
+	Seed        uint64
+}
+
+// Fig5Defaults returns the paper's Figure 5 setup.
+func Fig5Defaults(kind Kind) Fig5Params {
+	return Fig5Params{
+		Kind:        kind,
+		CPUs:        2,
+		Quantum:     200 * simtime.Millisecond,
+		Heavy:       20,
+		Group:       20,
+		ShortWeight: 5,
+		ShortLen:    300 * simtime.Millisecond,
+		Horizon:     simtime.Time(30 * simtime.Second),
+		SampleEvery: 500 * simtime.Millisecond,
+		Seed:        1,
+	}
+}
+
+// Fig5Result carries the three series of Figure 5: T1 (w=20), the aggregate
+// of T2–T21 (w=1 each), and the cumulative short-task stream (w=5).
+type Fig5Result struct {
+	Params Fig5Params
+	Sched  string
+	T1     *metrics.Series
+	Group  *metrics.Series
+	Short  *metrics.Series
+	// Services at the horizon, same order.
+	Service [3]simtime.Duration
+	// ShortJobs is the number of short tasks completed.
+	ShortJobs int
+}
+
+// Fig5 runs the short-jobs experiment. The requested proportions are
+// 20 : 20 : 5 = 4 : 4 : 1 for T1 : ΣT2–21 : short stream.
+func Fig5(p Fig5Params) Fig5Result {
+	m := NewMachine(p.Kind, p.CPUs, p.Quantum, p.Seed)
+	t1 := m.Spawn(machine.SpawnConfig{Name: "T1", Weight: p.Heavy, Behavior: workload.Inf()})
+	group := make([]*machine.Task, p.Group)
+	for i := range group {
+		group[i] = m.Spawn(machine.SpawnConfig{
+			Name:     fmt.Sprintf("T%d", i+2),
+			Weight:   1,
+			Behavior: workload.Inf(),
+		})
+	}
+	// Short-task stream: each task runs ShortLen of CPU and exits; the next
+	// arrives only after the previous one finished.
+	var (
+		completed simtime.Duration
+		jobs      int
+		cur       *machine.Task
+		spawn     func(at simtime.Time)
+	)
+	spawn = func(at simtime.Time) {
+		cur = m.Spawn(machine.SpawnConfig{
+			Name:     "T_short",
+			Weight:   p.ShortWeight,
+			Behavior: workload.Finite(p.ShortLen),
+			At:       at,
+			OnExit: func(now simtime.Time) {
+				completed += p.ShortLen
+				jobs++
+				spawn(now)
+			},
+		})
+	}
+	spawn(0)
+
+	t1Series := &metrics.Series{Name: "T1"}
+	groupSeries := &metrics.Series{Name: "T2-21"}
+	shortSeries := &metrics.Series{Name: "T_short"}
+	m.Every(p.SampleEvery, func(now simtime.Time) {
+		x := now.Seconds()
+		t1Series.X = append(t1Series.X, x)
+		t1Series.Y = append(t1Series.Y, workload.Loops(m.ServiceNow(t1), InfLoopCost))
+		var g simtime.Duration
+		for _, k := range group {
+			g += m.ServiceNow(k)
+		}
+		groupSeries.X = append(groupSeries.X, x)
+		groupSeries.Y = append(groupSeries.Y, workload.Loops(g, InfLoopCost))
+		s := completed
+		if cur != nil && !cur.Exited() {
+			s += m.ServiceNow(cur)
+		}
+		shortSeries.X = append(shortSeries.X, x)
+		shortSeries.Y = append(shortSeries.Y, workload.Loops(s, InfLoopCost))
+	})
+	m.Run(p.Horizon)
+
+	var groupService simtime.Duration
+	for _, k := range group {
+		groupService += k.Thread().Service
+	}
+	shortService := completed
+	if cur != nil && !cur.Exited() {
+		shortService += cur.Thread().Service
+	}
+	return Fig5Result{
+		Params:    p,
+		Sched:     m.Scheduler().Name(),
+		T1:        t1Series,
+		Group:     groupSeries,
+		Short:     shortSeries,
+		Service:   [3]simtime.Duration{t1.Thread().Service, groupService, shortService},
+		ShortJobs: jobs,
+	}
+}
+
+// Shares returns the fraction of delivered bandwidth received by T1, the
+// group, and the short stream. The requested split is 4/9 : 4/9 : 1/9.
+func (r Fig5Result) Shares() []float64 {
+	return metrics.SharesOf(r.Service[0], r.Service[1], r.Service[2])
+}
+
+// Render formats the result for CLI output.
+func (r Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 workload under %s (%d CPUs)\n", r.Sched, r.Params.CPUs)
+	for _, s := range []*metrics.Series{r.T1, r.Group, r.Short} {
+		fmt.Fprintf(&b, "  %-7s loops: %s  final=%.4g\n", s.Name, metrics.Sparkline(s.Y), s.Last())
+	}
+	sh := r.Shares()
+	fmt.Fprintf(&b, "  shares T1:group:short = %.3f : %.3f : %.3f (requested 0.444 : 0.444 : 0.111)\n",
+		sh[0], sh[1], sh[2])
+	fmt.Fprintf(&b, "  short jobs completed: %d\n", r.ShortJobs)
+	return b.String()
+}

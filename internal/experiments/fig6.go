@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sfsched/internal/machine"
+	"sfsched/internal/metrics"
+	"sfsched/internal/simtime"
+	"sfsched/internal/workload"
+)
+
+// DhrystoneLoopCost converts dhrystone CPU service to loops: with 1 µs per
+// loop, a thread owning half a dual-processor machine (one CPU) completes
+// 1e6 loops/sec, the order of Figure 6(a)'s y-axis.
+const DhrystoneLoopCost = simtime.Microsecond
+
+// Fig6aParams configures the proportionate-allocation experiment
+// (Figure 6(a)): 20 background dhrystones with weight 1 plus two dhrystones
+// at each of the requested ratios. The background load keeps every weight
+// assignment feasible on the dual-processor machine, exactly as in the
+// paper.
+type Fig6aParams struct {
+	Kind       Kind
+	CPUs       int
+	Quantum    simtime.Duration
+	Background int
+	Ratios     [][2]float64
+	Horizon    simtime.Time
+	Seed       uint64
+}
+
+// Fig6aDefaults returns the paper's Figure 6(a) setup.
+func Fig6aDefaults(kind Kind) Fig6aParams {
+	return Fig6aParams{
+		Kind:       kind,
+		CPUs:       2,
+		Quantum:    200 * simtime.Millisecond,
+		Background: 20,
+		Ratios:     [][2]float64{{1, 1}, {1, 2}, {1, 4}, {1, 7}},
+		Horizon:    simtime.Time(30 * simtime.Second),
+		Seed:       1,
+	}
+}
+
+// Fig6aRow is one weight-assignment column of Figure 6(a).
+type Fig6aRow struct {
+	Requested [2]float64
+	LoopsSec  [2]float64
+	Measured  float64 // measured ratio loops2/loops1
+}
+
+// Fig6aResult carries one row per requested ratio.
+type Fig6aResult struct {
+	Params Fig6aParams
+	Sched  string
+	Rows   []Fig6aRow
+}
+
+// Fig6a runs the proportionate-allocation experiment.
+func Fig6a(p Fig6aParams) Fig6aResult {
+	res := Fig6aResult{Params: p}
+	for _, ratio := range p.Ratios {
+		m := NewMachine(p.Kind, p.CPUs, p.Quantum, p.Seed)
+		res.Sched = m.Scheduler().Name()
+		for i := 0; i < p.Background; i++ {
+			m.Spawn(machine.SpawnConfig{
+				Name:     fmt.Sprintf("bg%d", i),
+				Weight:   1,
+				Behavior: workload.Inf(),
+			})
+		}
+		a := m.Spawn(machine.SpawnConfig{Name: "dhry-A", Weight: ratio[0], Behavior: workload.Inf()})
+		b := m.Spawn(machine.SpawnConfig{Name: "dhry-B", Weight: ratio[1], Behavior: workload.Inf()})
+		m.Run(p.Horizon)
+		la := workload.LoopRate(a.Thread().Service, DhrystoneLoopCost, simtime.Duration(p.Horizon))
+		lb := workload.LoopRate(b.Thread().Service, DhrystoneLoopCost, simtime.Duration(p.Horizon))
+		row := Fig6aRow{Requested: ratio, LoopsSec: [2]float64{la, lb}}
+		if la > 0 {
+			row.Measured = lb / la
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the result as the Figure 6(a) bar data.
+func (r Fig6aResult) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Figure 6(a): dhrystone loops/sec under %s", r.Sched),
+		Headers: []string{"weights", "loops/sec A", "loops/sec B", "measured B/A", "requested B/A"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%g:%g", row.Requested[0], row.Requested[1]),
+			fmt.Sprintf("%.0f", row.LoopsSec[0]),
+			fmt.Sprintf("%.0f", row.LoopsSec[1]),
+			fmt.Sprintf("%.2f", row.Measured),
+			fmt.Sprintf("%.2f", row.Requested[1]/row.Requested[0]),
+		)
+	}
+	return t.String()
+}
+
+// MPEGFrameCost is the CPU cost of decoding one frame: 1/44 s, so a decoder
+// owning a full processor achieves ~44 frames/sec, matching the unloaded
+// frame rate in Figure 6(b).
+const MPEGFrameCost = 22727 * simtime.Microsecond
+
+// Fig6bParams configures the application-isolation experiment
+// (Figure 6(b)): an MPEG decoder with a very large weight against a growing
+// number of gcc compilations with weight 1, under SFS and time sharing.
+type Fig6bParams struct {
+	Kinds         []Kind
+	CPUs          int
+	Quantum       simtime.Duration
+	DecoderWeight float64
+	Compilations  []int
+	Horizon       simtime.Time
+	Seed          uint64
+}
+
+// Fig6bDefaults returns the paper's Figure 6(b) setup.
+func Fig6bDefaults() Fig6bParams {
+	return Fig6bParams{
+		Kinds:         []Kind{SFS, Timeshare},
+		CPUs:          2,
+		Quantum:       200 * simtime.Millisecond,
+		DecoderWeight: 10000,
+		Compilations:  []int{0, 1, 2, 4, 6, 8, 10},
+		Horizon:       simtime.Time(20 * simtime.Second),
+		Seed:          1,
+	}
+}
+
+// Fig6bResult holds decoder frame rates per compilation load per scheduler.
+type Fig6bResult struct {
+	Params Fig6bParams
+	// FPS maps scheduler kind to frame rates aligned with
+	// Params.Compilations.
+	FPS map[Kind][]float64
+}
+
+// Fig6b runs the application-isolation experiment.
+func Fig6b(p Fig6bParams) Fig6bResult {
+	res := Fig6bResult{Params: p, FPS: make(map[Kind][]float64)}
+	for _, kind := range p.Kinds {
+		rates := make([]float64, 0, len(p.Compilations))
+		for _, n := range p.Compilations {
+			m := NewMachine(kind, p.CPUs, p.Quantum, p.Seed)
+			dec := m.Spawn(machine.SpawnConfig{
+				Name:     "mpeg_play",
+				Weight:   p.DecoderWeight,
+				Behavior: workload.Inf(),
+			})
+			for i := 0; i < n; i++ {
+				m.Spawn(machine.SpawnConfig{
+					Name:     fmt.Sprintf("gcc%d", i),
+					Weight:   1,
+					Behavior: workload.CompileForever(30*simtime.Millisecond, 3*simtime.Millisecond),
+				})
+			}
+			m.Run(p.Horizon)
+			rates = append(rates, workload.LoopRate(
+				dec.Thread().Service, MPEGFrameCost, simtime.Duration(p.Horizon)))
+		}
+		res.FPS[kind] = rates
+	}
+	return res
+}
+
+// Render formats the result as the Figure 6(b) series.
+func (r Fig6bResult) Render() string {
+	t := metrics.Table{
+		Title:   "Figure 6(b): MPEG frame rate vs. background compilations",
+		Headers: []string{"compilations"},
+	}
+	for _, kind := range r.Params.Kinds {
+		t.Headers = append(t.Headers, string(kind)+" fps")
+	}
+	for i, n := range r.Params.Compilations {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, kind := range r.Params.Kinds {
+			row = append(row, fmt.Sprintf("%.1f", r.FPS[kind][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Fig6cParams configures the interactive-performance experiment
+// (Figure 6(c)): the I/O-bound Interact application against a growing number
+// of compute-bound disksim processes, all with weight 1.
+type Fig6cParams struct {
+	Kinds     []Kind
+	CPUs      int
+	Quantum   simtime.Duration
+	Disksims  []int
+	MeanBurst simtime.Duration
+	MeanThink simtime.Duration
+	Horizon   simtime.Time
+	Seed      uint64
+}
+
+// Fig6cDefaults returns the paper's Figure 6(c) setup.
+func Fig6cDefaults() Fig6cParams {
+	return Fig6cParams{
+		Kinds:     []Kind{SFS, Timeshare},
+		CPUs:      2,
+		Quantum:   200 * simtime.Millisecond,
+		Disksims:  []int{0, 2, 4, 6, 8, 10},
+		MeanBurst: 3 * simtime.Millisecond,
+		MeanThink: 100 * simtime.Millisecond,
+		Horizon:   simtime.Time(30 * simtime.Second),
+		Seed:      1,
+	}
+}
+
+// Fig6cResult holds mean response times (ms) per disksim load per
+// scheduler.
+type Fig6cResult struct {
+	Params Fig6cParams
+	MeanMS map[Kind][]float64
+	P95MS  map[Kind][]float64
+}
+
+// Fig6c runs the interactive-performance experiment.
+func Fig6c(p Fig6cParams) Fig6cResult {
+	res := Fig6cResult{
+		Params: p,
+		MeanMS: make(map[Kind][]float64),
+		P95MS:  make(map[Kind][]float64),
+	}
+	for _, kind := range p.Kinds {
+		means := make([]float64, 0, len(p.Disksims))
+		p95s := make([]float64, 0, len(p.Disksims))
+		for _, n := range p.Disksims {
+			m := NewMachine(kind, p.CPUs, p.Quantum, p.Seed)
+			var rec workload.Responses
+			var interact *machine.Task
+			interact = m.Spawn(machine.SpawnConfig{
+				Name:     "interact",
+				Weight:   1,
+				Behavior: workload.Interactive(p.MeanBurst, p.MeanThink),
+				OnBurstEnd: func(now simtime.Time) {
+					rec.Add(now.Sub(interact.LastWake()))
+				},
+			})
+			for i := 0; i < n; i++ {
+				m.Spawn(machine.SpawnConfig{
+					Name:     fmt.Sprintf("disksim%d", i),
+					Weight:   1,
+					Behavior: workload.Inf(),
+				})
+			}
+			m.Run(p.Horizon)
+			means = append(means, rec.Mean().Milliseconds())
+			p95s = append(p95s, rec.Percentile(95).Milliseconds())
+		}
+		res.MeanMS[kind] = means
+		res.P95MS[kind] = p95s
+	}
+	return res
+}
+
+// Render formats the result as the Figure 6(c) series.
+func (r Fig6cResult) Render() string {
+	t := metrics.Table{
+		Title:   "Figure 6(c): Interact mean response time (ms) vs. disksim load",
+		Headers: []string{"disksims"},
+	}
+	for _, kind := range r.Params.Kinds {
+		t.Headers = append(t.Headers, string(kind)+" mean", string(kind)+" p95")
+	}
+	for i, n := range r.Params.Disksims {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, kind := range r.Params.Kinds {
+			row = append(row,
+				fmt.Sprintf("%.2f", r.MeanMS[kind][i]),
+				fmt.Sprintf("%.2f", r.P95MS[kind][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

@@ -1,0 +1,350 @@
+// Package hier implements two-level hierarchical surplus fair scheduling —
+// the extension the paper's §5 names as an open research problem ("SFS is a
+// single-level scheduler... The design of hierarchical schedulers for
+// multiprocessor environments remains an open research problem").
+//
+// Threads are aggregated into weighted classes; CPU bandwidth divides among
+// classes in proportion to class weights, then within each class among its
+// threads in proportion to thread weights. The multiprocessor wrinkle is
+// feasibility at both levels: a thread's rate is capped at one CPU, and a
+// class's rate is capped at min(runnable threads, p) CPUs.
+//
+// # Design: flatten the tree into rates
+//
+// A naive composition — pick a class by class-level SFS, then delegate to a
+// per-class inner SFS — cannot express allocations like "thread A holds one
+// CPU continuously while its sibling B receives a third of another": the
+// class level sees only aggregate class service, so whichever sibling
+// happens to hold the slot keeps it, and intra-class shares drift toward
+// equality (we measured exactly that before switching designs). Instead,
+// this package computes every thread's *hierarchical GMS rate* directly by
+// nested water-filling (readjust.WaterFill):
+//
+//  1. class rates: capacity p divided by class weights, per-class cap
+//     min(runnable_c, p);
+//  2. thread rates: each class's rate divided by thread weights, per-thread
+//     cap 1 CPU.
+//
+// The resulting rate is the thread's instantaneous weight φ_i in a single
+// flat surplus-fair queue: start tags advance by q/φ_i and the least-surplus
+// thread runs, exactly as in flat SFS. Since Σφ_i = min(p, n) and each
+// φ_i ≤ 1, the flat scheduler delivers service proportional to φ — which is
+// by construction the hierarchical GMS allocation. Figure 2's readjustment
+// is the special case of this tree with every thread in its own class.
+package hier
+
+import (
+	"fmt"
+	"math"
+
+	"sfsched/internal/core"
+	"sfsched/internal/readjust"
+	"sfsched/internal/runqueue"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+// Class is a scheduling class: a weight and the set of member threads.
+type Class struct {
+	name    string
+	weight  float64
+	phi     float64 // readjusted class rate, in CPUs
+	members []*sched.Thread
+	service simtime.Duration
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.name }
+
+// Weight returns the class weight.
+func (c *Class) Weight() float64 { return c.weight }
+
+// Rate returns the class's current GMS rate in CPUs.
+func (c *Class) Rate() float64 { return c.phi }
+
+// Service returns the total CPU service delivered to the class's threads so
+// far, in seconds.
+func (c *Class) Service() float64 { return c.service.Seconds() }
+
+// Hier is a two-level hierarchical SFS scheduler. Not safe for concurrent
+// use.
+type Hier struct {
+	p       int
+	quantum simtime.Duration
+	classes []*Class
+	byName  map[string]*Class
+	assign  map[*sched.Thread]*Class
+	def     *Class
+
+	byStart   *runqueue.List[*sched.Thread]
+	bySurplus *runqueue.List[*sched.Thread]
+	v         float64
+	lastFin   float64
+	decisions int64
+}
+
+// New returns a hierarchical scheduler for p processors with a default
+// class of weight 1 (threads not explicitly assigned go there).
+func New(p int, quantum simtime.Duration) *Hier {
+	if p < 1 {
+		panic(fmt.Sprintf("hier: invalid processor count %d", p))
+	}
+	if quantum <= 0 {
+		quantum = core.DefaultQuantum
+	}
+	h := &Hier{
+		p:       p,
+		quantum: quantum,
+		byName:  make(map[string]*Class),
+		assign:  make(map[*sched.Thread]*Class),
+	}
+	h.byStart = runqueue.NewList(func(a, b *sched.Thread) bool {
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.ID < b.ID
+	})
+	h.bySurplus = runqueue.NewList(func(a, b *sched.Thread) bool {
+		if a.Surplus != b.Surplus {
+			return a.Surplus < b.Surplus
+		}
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		return a.ID < b.ID
+	})
+	h.def = h.MustAddClass("default", 1)
+	return h
+}
+
+// AddClass creates a scheduling class. Class weights, like thread weights,
+// must be positive.
+func (h *Hier) AddClass(name string, weight float64) (*Class, error) {
+	if !sched.ValidWeight(weight) {
+		return nil, fmt.Errorf("%w: %g", sched.ErrBadWeight, weight)
+	}
+	if _, dup := h.byName[name]; dup {
+		return nil, fmt.Errorf("hier: duplicate class %q", name)
+	}
+	c := &Class{name: name, weight: weight, phi: weight}
+	h.classes = append(h.classes, c)
+	h.byName[name] = c
+	return c, nil
+}
+
+// MustAddClass is AddClass for static configuration.
+func (h *Hier) MustAddClass(name string, weight float64) *Class {
+	c, err := h.AddClass(name, weight)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Assign routes a thread to a class; call before Add. Unassigned threads go
+// to the default class.
+func (h *Hier) Assign(t *sched.Thread, c *Class) { h.assign[t] = c }
+
+// ClassOf returns the class a thread is (or would be) scheduled in.
+func (h *Hier) ClassOf(t *sched.Thread) *Class {
+	if c, ok := h.assign[t]; ok {
+		return c
+	}
+	return h.def
+}
+
+// SetClassWeight changes a class weight at runtime.
+func (h *Hier) SetClassWeight(c *Class, w float64) error {
+	if !sched.ValidWeight(w) {
+		return fmt.Errorf("%w: %g", sched.ErrBadWeight, w)
+	}
+	c.weight = w
+	h.readjust()
+	h.refreshSurpluses()
+	return nil
+}
+
+// Classes returns the configured classes (including the default class).
+func (h *Hier) Classes() []*Class { return append([]*Class(nil), h.classes...) }
+
+// Name implements sched.Scheduler.
+func (h *Hier) Name() string { return "hier-SFS" }
+
+// NumCPU implements sched.Scheduler.
+func (h *Hier) NumCPU() int { return h.p }
+
+// Runnable implements sched.Scheduler.
+func (h *Hier) Runnable() int { return h.byStart.Len() }
+
+// Add implements sched.Scheduler: the flat SFS arrival rule with
+// hierarchical φ.
+func (h *Hier) Add(t *sched.Thread, now simtime.Time) error {
+	if !sched.ValidWeight(t.Weight) {
+		return fmt.Errorf("%w: %g", sched.ErrBadWeight, t.Weight)
+	}
+	if h.byStart.Contains(t) {
+		return fmt.Errorf("%w: %v", sched.ErrAlreadyManaged, t)
+	}
+	c := h.ClassOf(t)
+	t.Start = math.Max(t.Finish, h.v)
+	c.members = append(c.members, t)
+	h.byStart.Insert(t)
+	h.readjust()
+	h.recomputeV()
+	h.storeSurplus(t)
+	h.bySurplus.Insert(t)
+	h.refreshSurpluses()
+	return nil
+}
+
+// Remove implements sched.Scheduler.
+func (h *Hier) Remove(t *sched.Thread, now simtime.Time) error {
+	if !h.byStart.Contains(t) {
+		return fmt.Errorf("%w: %v", sched.ErrNotManaged, t)
+	}
+	h.byStart.Remove(t)
+	h.bySurplus.Remove(t)
+	c := h.ClassOf(t)
+	for i, m := range c.members {
+		if m == t {
+			c.members = append(c.members[:i], c.members[i+1:]...)
+			break
+		}
+	}
+	if t.State == sched.Exited {
+		delete(h.assign, t)
+	}
+	h.readjust()
+	h.recomputeV()
+	h.refreshSurpluses()
+	return nil
+}
+
+// Charge implements sched.Scheduler: F = S + q/φ with the hierarchical φ.
+func (h *Hier) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+	if ran < 0 {
+		panic("hier: negative charge")
+	}
+	t.Service += ran
+	h.ClassOf(t).service += ran
+	if t.Phi > 0 {
+		t.Finish = t.Start + ran.Seconds()/t.Phi
+		t.Start = t.Finish
+	}
+	h.lastFin = t.Finish
+	if h.byStart.Contains(t) {
+		h.byStart.Fix(t)
+	}
+	if h.recomputeV() {
+		h.refreshSurpluses()
+	} else if h.byStart.Contains(t) {
+		h.storeSurplus(t)
+		h.bySurplus.Fix(t)
+	}
+}
+
+// Timeslice implements sched.Scheduler.
+func (h *Hier) Timeslice(t *sched.Thread, now simtime.Time) simtime.Duration {
+	return h.quantum
+}
+
+// SetWeight implements sched.Scheduler (thread weight within its class).
+func (h *Hier) SetWeight(t *sched.Thread, w float64, now simtime.Time) error {
+	if !sched.ValidWeight(w) {
+		return fmt.Errorf("%w: %g", sched.ErrBadWeight, w)
+	}
+	t.Weight = w
+	if !h.byStart.Contains(t) {
+		t.Phi = w
+		return nil
+	}
+	h.readjust()
+	h.refreshSurpluses()
+	return nil
+}
+
+// Pick implements sched.Scheduler: the least-surplus runnable thread, flat
+// across classes.
+func (h *Hier) Pick(cpu int, now simtime.Time) *sched.Thread {
+	var best *sched.Thread
+	h.bySurplus.Each(func(t *sched.Thread) bool {
+		if t.Running() {
+			return true
+		}
+		best = t
+		return false
+	})
+	if best != nil {
+		h.decisions++
+		best.Decisions++
+	}
+	return best
+}
+
+// Less implements sched.Scheduler for wakeup preemption.
+func (h *Hier) Less(a, b *sched.Thread) bool {
+	return a.Phi*(a.Start-h.v) < b.Phi*(b.Start-h.v)
+}
+
+// readjust recomputes every runnable thread's φ as its hierarchical GMS
+// rate: nested water-filling, classes first, then threads within each class.
+func (h *Hier) readjust() {
+	var active []*Class
+	weights := make([]float64, 0, len(h.classes))
+	caps := make([]float64, 0, len(h.classes))
+	for _, c := range h.classes {
+		if len(c.members) == 0 {
+			continue
+		}
+		active = append(active, c)
+		weights = append(weights, c.weight)
+		cap := float64(len(c.members))
+		if cap > float64(h.p) {
+			cap = float64(h.p)
+		}
+		caps = append(caps, cap)
+	}
+	if len(active) == 0 {
+		return
+	}
+	rates := readjust.WaterFill(weights, caps, float64(h.p))
+	for i, c := range active {
+		c.phi = rates[i]
+		tw := make([]float64, len(c.members))
+		tc := make([]float64, len(c.members))
+		for j, t := range c.members {
+			tw[j] = t.Weight
+			tc[j] = 1 // a thread can hold at most one CPU
+		}
+		trates := readjust.WaterFill(tw, tc, c.phi)
+		for j, t := range c.members {
+			t.Phi = trates[j]
+		}
+	}
+}
+
+func (h *Hier) recomputeV() bool {
+	var nv float64
+	if head, ok := h.byStart.Head(); ok {
+		nv = head.Start
+	} else {
+		nv = h.lastFin
+	}
+	if nv == h.v {
+		return false
+	}
+	h.v = nv
+	return true
+}
+
+func (h *Hier) storeSurplus(t *sched.Thread) {
+	t.Surplus = t.Phi * (t.Start - h.v)
+}
+
+func (h *Hier) refreshSurpluses() {
+	h.byStart.Each(func(t *sched.Thread) bool {
+		h.storeSurplus(t)
+		return true
+	})
+	h.bySurplus.ReSort()
+}

@@ -1,0 +1,188 @@
+package partition
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sfsched/internal/machine"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+	"sfsched/internal/workload"
+)
+
+func mkThread(id int, w float64) *sched.Thread {
+	return &sched.Thread{ID: id, Weight: w, Phi: w,
+		CPU: sched.NoCPU, LastCPU: sched.NoCPU, State: sched.Runnable}
+}
+
+func TestGreedyPlacementBalances(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 4; i++ {
+		if err := s.Add(mkThread(i+1, 1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := s.PartitionWeights()
+	if w[0] != 2 || w[1] != 2 {
+		t.Fatalf("partition weights %v, want [2 2]", w)
+	}
+}
+
+func TestThreadsPinnedToPartition(t *testing.T) {
+	// Without rebalancing, a thread only ever runs on its home CPU.
+	s := New(2, WithQuantum(10*simtime.Millisecond))
+	m := machine.New(machine.Config{CPUs: 2, Scheduler: s, Seed: 1})
+	a := m.Spawn(machine.SpawnConfig{Name: "a", Behavior: workload.Inf()})
+	b := m.Spawn(machine.SpawnConfig{Name: "b", Behavior: workload.Inf()})
+	c := m.Spawn(machine.SpawnConfig{Name: "c", Behavior: workload.Inf()})
+	m.Run(simtime.Time(10 * simtime.Second))
+	// a landed on CPU 0, b on CPU 1, c on CPU... the lightest (either).
+	// The two threads sharing a partition each got ~5s; the solo thread
+	// got ~10s. That is exactly the imbalance §1.2 warns about: all have
+	// weight 1 yet one gets double service.
+	services := []float64{
+		a.Thread().Service.Seconds(),
+		b.Thread().Service.Seconds(),
+		c.Thread().Service.Seconds(),
+	}
+	var solo, shared int
+	for i, sv := range services {
+		if math.Abs(sv-10) < 0.5 {
+			solo++
+		} else if math.Abs(sv-5) < 0.5 {
+			shared++
+		} else {
+			t.Fatalf("service[%d] = %.2f, expected ~10 or ~5 (%v)", i, sv, services)
+		}
+	}
+	if solo != 1 || shared != 2 {
+		t.Fatalf("services %v: want one solo (~10s) and two shared (~5s)", services)
+	}
+	if m.Stats().Migrations != 0 {
+		t.Fatalf("threads migrated without rebalancing: %d", m.Stats().Migrations)
+	}
+}
+
+func TestDepartureImbalanceWithoutRebalance(t *testing.T) {
+	// Four equal threads balance 2+2; kill both threads of one partition
+	// and the remaining pair still shares a single CPU while the other
+	// idles — the unfairness (and non-work-conservation) of static
+	// partitioning.
+	s := New(2, WithQuantum(10*simtime.Millisecond))
+	m := machine.New(machine.Config{CPUs: 2, Scheduler: s, Seed: 1})
+	var tasks []*machine.Task
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, m.Spawn(machine.SpawnConfig{Name: "t", Behavior: workload.Inf()}))
+	}
+	m.Run(simtime.Time(simtime.Second))
+	// Find the two tasks sharing partition 0 (homes alternate 0,1,0,1).
+	m.At(simtime.Time(simtime.Second), func(now simtime.Time) {
+		m.Kill(tasks[0])
+		m.Kill(tasks[2])
+	})
+	m.Run(simtime.Time(11 * simtime.Second))
+	// tasks[1] and tasks[3] share one partition for the remaining 10s:
+	// ~5s each on top of ~0.5s from the first second.
+	for _, k := range []*machine.Task{tasks[1], tasks[3]} {
+		got := k.Thread().Service.Seconds()
+		if math.Abs(got-5.5) > 0.5 {
+			t.Fatalf("survivor service %.2fs, want ~5.5 (imbalance preserved)", got)
+		}
+	}
+	if idle := m.Stats().IdleTime; idle < 9*simtime.Second {
+		t.Fatalf("idle time %v; a partition should have idled ~10s", idle)
+	}
+}
+
+func TestRebalanceRepairsImbalance(t *testing.T) {
+	s := New(2, WithQuantum(10*simtime.Millisecond), WithRebalance(500*simtime.Millisecond))
+	m := machine.New(machine.Config{CPUs: 2, Scheduler: s, Seed: 1})
+	var tasks []*machine.Task
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, m.Spawn(machine.SpawnConfig{Name: "t", Behavior: workload.Inf()}))
+	}
+	m.At(simtime.Time(simtime.Second), func(now simtime.Time) {
+		m.Kill(tasks[0])
+		m.Kill(tasks[2])
+	})
+	m.Run(simtime.Time(11 * simtime.Second))
+	// After rebalancing, the survivors end up one per partition: ~10.5s
+	// each.
+	for _, k := range []*machine.Task{tasks[1], tasks[3]} {
+		got := k.Thread().Service.Seconds()
+		if math.Abs(got-10.5) > 0.7 {
+			t.Fatalf("survivor service %.2fs, want ~10.5 (rebalance should fix)", got)
+		}
+	}
+	if s.Moves() == 0 {
+		t.Fatal("rebalancing never moved a thread")
+	}
+}
+
+func TestWokenThreadReturnsHome(t *testing.T) {
+	s := New(2)
+	a := mkThread(1, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	home := -1
+	for i, w := range s.PartitionWeights() {
+		if w > 0 {
+			home = i
+		}
+	}
+	a.State = sched.Blocked
+	if err := s.Remove(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Load the other partition so greedy placement would move a.
+	b := mkThread(2, 1)
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	a.State = sched.Runnable
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	w := s.PartitionWeights()
+	if w[home] < 1 {
+		t.Fatalf("woken thread did not return home: weights %v", w)
+	}
+}
+
+func TestErrorsAndAccessors(t *testing.T) {
+	s := New(2)
+	if s.Name() != "partitioned-SFQ" {
+		t.Fatalf("name %q", s.Name())
+	}
+	if New(2, WithRebalance(simtime.Second)).Name() != "partitioned-SFQ(rebal=1s)" {
+		t.Fatal("rebalance name")
+	}
+	a := mkThread(1, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(mkThread(9, 1), 0); !errors.Is(err, sched.ErrNotManaged) {
+		t.Fatalf("remove unmanaged: %v", err)
+	}
+	if err := s.SetWeight(a, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetWeight(a, -1, 0); !errors.Is(err, sched.ErrBadWeight) {
+		t.Fatalf("bad setweight: %v", err)
+	}
+	off := mkThread(3, 1)
+	if err := s.SetWeight(off, 2, 0); err != nil || off.Weight != 2 {
+		t.Fatal("setweight unplaced")
+	}
+	if s.NumCPU() != 2 || s.Runnable() != 1 {
+		t.Fatal("accessors")
+	}
+	if got := s.Timeslice(a, 0); got != 200*simtime.Millisecond {
+		t.Fatalf("timeslice %v", got)
+	}
+	if !s.Less(&sched.Thread{Start: 1}, &sched.Thread{Start: 2}) {
+		t.Fatal("Less")
+	}
+}

@@ -1,0 +1,294 @@
+// Package readjust implements the paper's optimal weight readjustment
+// algorithm (§2.1, Figure 2) and the GMS water-filling rate computation it
+// induces (§2.2).
+//
+// On a p-processor machine a weight assignment is feasible only if no thread
+// requests more than 1/p of the total bandwidth (Equation 1): a single thread
+// cannot consume more than one processor. The readjustment algorithm maps an
+// infeasible assignment to the closest feasible one: threads that violate the
+// constraint are capped so that their requested fraction becomes exactly 1/p
+// of what remains, and every other weight is left untouched. At most p-1
+// threads can violate the constraint, so the algorithm needs to inspect only
+// the p-1 largest weights.
+//
+// Two conventions extend the paper's pseudocode to corner cases it leaves
+// implicit:
+//
+//   - If the number of runnable threads n is at most p, every thread receives
+//     a full processor under GMS regardless of weights, so their service
+//     rates — and therefore their instantaneous weights — must be equal. We
+//     assign each the smallest weight in the group (leaving at least one
+//     weight unchanged, in keeping with the "nearest assignment" property).
+//   - On a uniprocessor (p=1) every assignment is feasible and readjustment
+//     is the identity.
+package readjust
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IsFeasibleSorted reports whether the descending-sorted weight slice w
+// satisfies the feasibility constraint (Equation 1) on p processors.
+// Only the heaviest thread can be the worst offender, so the check is O(n)
+// for the sum and O(1) for the test.
+func IsFeasibleSorted(w []float64, p int) bool {
+	n := len(w)
+	if n == 0 || p <= 1 {
+		return true
+	}
+	if n <= p {
+		// Feasible only if all requested rates can be honoured with one
+		// processor each, i.e. all weights equal (each fraction is 1/n
+		// of delivered bandwidth). Unequal weights cannot be honoured.
+		for i := 1; i < n; i++ {
+			if w[i] != w[0] {
+				return false
+			}
+		}
+		return true
+	}
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	return w[0]*float64(p) <= sum
+}
+
+// IsFeasible reports whether the (unsorted) weights satisfy Equation 1.
+func IsFeasible(weights []float64, p int) bool {
+	w := append([]float64(nil), weights...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(w)))
+	return IsFeasibleSorted(w, p)
+}
+
+// validate panics on non-positive weights or processor counts; these are
+// programmer errors (the scheduler rejects them at the API boundary).
+func validate(w []float64, p int) {
+	if p <= 0 {
+		panic(fmt.Sprintf("readjust: non-positive processor count %d", p))
+	}
+	for i, x := range w {
+		if x <= 0 {
+			panic(fmt.Sprintf("readjust: non-positive weight %g at index %d", x, i))
+		}
+	}
+}
+
+// SortedDesc readjusts, in place, a weight slice sorted in descending order;
+// this is the exact recursive algorithm of Figure 2 plus the n<=p
+// convention. It returns the number of weights that were modified.
+func SortedDesc(w []float64, p int) int {
+	validate(w, p)
+	return recurse(w, p)
+}
+
+// recurse is Figure 2: if the heaviest remaining thread violates the
+// feasibility constraint for the remaining processors, first fix the rest
+// on p-1 processors, then cap this thread so that its requested share of
+// the remaining bandwidth is exactly 1/p.
+func recurse(w []float64, p int) int {
+	n := len(w)
+	if n == 0 {
+		return 0
+	}
+	if p == 1 {
+		// Uniprocessor tail: every assignment is feasible.
+		return 0
+	}
+	if n <= p {
+		// Each thread receives a full processor; rates are equal, so
+		// instantaneous weights must be equal. Use the group minimum.
+		min := w[n-1] // sorted descending
+		changed := 0
+		for i := range w {
+			if w[i] != min {
+				w[i] = min
+				changed++
+			}
+		}
+		return changed
+	}
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if w[0]*float64(p) <= sum {
+		return 0 // heaviest is feasible; all lighter ones are too
+	}
+	changed := recurse(w[1:], p-1)
+	var rest float64
+	for _, x := range w[1:] {
+		rest += x
+	}
+	w[0] = rest / float64(p-1)
+	return changed + 1
+}
+
+// Weights returns the readjusted copy of weights (any order, order
+// preserved) for p processors.
+func Weights(weights []float64, p int) []float64 {
+	validate(weights, p)
+	n := len(weights)
+	out := append([]float64(nil), weights...)
+	if n == 0 || p == 1 {
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return weights[idx[a]] > weights[idx[b]] })
+	sorted := make([]float64, n)
+	for i, j := range idx {
+		sorted[i] = weights[j]
+	}
+	SortedDesc(sorted, p)
+	for i, j := range idx {
+		out[j] = sorted[i]
+	}
+	return out
+}
+
+// NumCapped returns how many of the descending-sorted weights violate the
+// feasibility constraint, without modifying the slice. For n > p this is at
+// most p-1 (the paper's complexity argument).
+func NumCapped(w []float64, p int) int {
+	validate(w, p)
+	n := len(w)
+	if p == 1 || n == 0 {
+		return 0
+	}
+	if n <= p {
+		min := w[n-1]
+		c := 0
+		for _, x := range w {
+			if x != min {
+				c++
+			}
+		}
+		return c
+	}
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	c := 0
+	for i := 0; i < n && p-i > 1; i++ {
+		if w[i]*float64(p-i) > sum {
+			c++
+			sum -= w[i]
+			continue
+		}
+		break
+	}
+	return c
+}
+
+// WaterFill divides capacity among entities in proportion to weights,
+// subject to per-entity caps: entities whose proportional share exceeds
+// their cap are pinned at it and the remainder is re-divided among the rest.
+// This is the general form of the readjustment algorithm — Figure 2 is the
+// special case caps = 1 and capacity = p — and the rate computation of
+// hierarchical GMS (internal/hier) at both levels of the tree. If the total
+// cap is below capacity, the result sums to the total cap (the machine
+// cannot be fully used).
+func WaterFill(weights, caps []float64, capacity float64) []float64 {
+	if len(weights) != len(caps) {
+		panic("readjust: mismatched weights and caps")
+	}
+	validate(weights, 1)
+	out := make([]float64, len(weights))
+	if len(weights) == 0 {
+		return out
+	}
+	var totalCap float64
+	for i, c := range caps {
+		if c < 0 {
+			panic(fmt.Sprintf("readjust: negative cap %g at index %d", c, i))
+		}
+		totalCap += c
+	}
+	remaining := capacity
+	if totalCap < remaining {
+		remaining = totalCap
+	}
+	pinned := make([]bool, len(weights))
+	for {
+		var wsum float64
+		for i, w := range weights {
+			if !pinned[i] {
+				wsum += w
+			}
+		}
+		if wsum == 0 {
+			return out
+		}
+		progress := false
+		for i, w := range weights {
+			if pinned[i] {
+				continue
+			}
+			if r := w / wsum * remaining; r > caps[i] {
+				out[i] = caps[i]
+				pinned[i] = true
+				remaining -= caps[i]
+				progress = true
+			}
+		}
+		if !progress {
+			for i, w := range weights {
+				if !pinned[i] {
+					out[i] = w / wsum * remaining
+				}
+			}
+			return out
+		}
+	}
+}
+
+// Rates returns the GMS (water-filling) service rate of each thread in
+// CPUs, in [0, 1], for the given weights (any order, order preserved) on p
+// processors. Capped threads receive exactly one CPU; the rest share the
+// remaining processors in proportion to their unmodified weights. The rates
+// are what the idealized GMS algorithm of §2.2 delivers to continuously
+// runnable threads, and what internal/gms integrates over time.
+func Rates(weights []float64, p int) []float64 {
+	validate(weights, p)
+	n := len(weights)
+	rates := make([]float64, n)
+	if n == 0 {
+		return rates
+	}
+	if n <= p {
+		for i := range rates {
+			rates[i] = 1
+		}
+		return rates
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return weights[idx[a]] > weights[idx[b]] })
+	var sum float64
+	for _, x := range weights {
+		sum += x
+	}
+	rem := float64(p)
+	i := 0
+	for ; i < n; i++ {
+		w := weights[idx[i]]
+		if w*rem > sum && rem > 1 {
+			rates[idx[i]] = 1
+			rem--
+			sum -= w
+			continue
+		}
+		break
+	}
+	for ; i < n; i++ {
+		rates[idx[i]] = weights[idx[i]] / sum * rem
+	}
+	return rates
+}

@@ -1,0 +1,117 @@
+package runqueue
+
+// Heap is a binary min-heap with an element→index map, offering O(log n)
+// insert/remove/fix and O(1) min. It is the alternative run-queue backing
+// used by the ablation benchmarks (BenchmarkAblationQueueBacking) to weigh
+// the paper's linked-list + insertion-sort design against a textbook
+// priority queue: the list wins on mostly-sorted re-sorts and O(1) head
+// access patterns, the heap wins on adversarial churn.
+type Heap[T comparable] struct {
+	less func(a, b T) bool
+	vals []T
+	idx  map[T]int
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T comparable](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less, idx: make(map[T]int)}
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return len(h.vals) }
+
+// Contains reports whether x is present.
+func (h *Heap[T]) Contains(x T) bool {
+	_, ok := h.idx[x]
+	return ok
+}
+
+// Push inserts x. It panics on duplicates, matching List.Insert.
+func (h *Heap[T]) Push(x T) {
+	if _, ok := h.idx[x]; ok {
+		panic("runqueue: duplicate heap push")
+	}
+	h.vals = append(h.vals, x)
+	h.idx[x] = len(h.vals) - 1
+	h.up(len(h.vals) - 1)
+}
+
+// Min returns the least element without removing it.
+func (h *Heap[T]) Min() (T, bool) {
+	if len(h.vals) == 0 {
+		var zero T
+		return zero, false
+	}
+	return h.vals[0], true
+}
+
+// Remove deletes x, reporting whether it was present.
+func (h *Heap[T]) Remove(x T) bool {
+	i, ok := h.idx[x]
+	if !ok {
+		return false
+	}
+	last := len(h.vals) - 1
+	h.swap(i, last)
+	h.vals = h.vals[:last]
+	delete(h.idx, x)
+	if i < last {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+	return true
+}
+
+// Fix restores heap order after x's key changed.
+func (h *Heap[T]) Fix(x T) bool {
+	i, ok := h.idx[x]
+	if !ok {
+		return false
+	}
+	if !h.down(i) {
+		h.up(i)
+	}
+	return true
+}
+
+// Slice returns the elements in heap (not sorted) order; for tests.
+func (h *Heap[T]) Slice() []T { return append([]T(nil), h.vals...) }
+
+func (h *Heap[T]) swap(i, j int) {
+	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
+	h.idx[h.vals[i]] = i
+	h.idx[h.vals[j]] = j
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.vals[i], h.vals[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) bool {
+	moved := false
+	n := len(h.vals)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return moved
+		}
+		m := l
+		if r < n && h.less(h.vals[r], h.vals[l]) {
+			m = r
+		}
+		if !h.less(h.vals[m], h.vals[i]) {
+			return moved
+		}
+		h.swap(i, m)
+		i = m
+		moved = true
+	}
+}

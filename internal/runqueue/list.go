@@ -1,0 +1,258 @@
+// Package runqueue provides the sorted run-queue structures the paper's
+// kernel implementation is built on (§3.1–3.2).
+//
+// The implementation of SFS in Linux 2.2.14 maintains three doubly-linked
+// lists of runnable threads — sorted by weight (descending), start tag
+// (ascending) and surplus (ascending) — giving O(1) deletion, linear-time
+// sorted insertion, and cheap re-sorting with insertion sort when surplus
+// values are recomputed (the lists stay "mostly sorted", the case where
+// insertion sort shines). List reproduces exactly that structure. Heap is a
+// container/heap-backed alternative used by the ablation benchmarks to
+// quantify the paper's design choice.
+package runqueue
+
+import (
+	"errors"
+	"fmt"
+)
+
+// List is a sorted doubly-linked list over elements of type T with an
+// auxiliary index for O(1) removal. The sort order is defined by the less
+// function at construction time; keys live inside the elements, so when keys
+// mutate the caller must reposition elements with Fix or ReSort.
+type List[T comparable] struct {
+	less func(a, b T) bool
+	head *node[T]
+	tail *node[T]
+	pos  map[T]*node[T]
+}
+
+type node[T comparable] struct {
+	val        T
+	prev, next *node[T]
+}
+
+// NewList returns an empty list sorted by less (strict weak order).
+func NewList[T comparable](less func(a, b T) bool) *List[T] {
+	return &List[T]{less: less, pos: make(map[T]*node[T])}
+}
+
+// Len returns the number of elements.
+func (l *List[T]) Len() int { return len(l.pos) }
+
+// Contains reports whether x is in the list.
+func (l *List[T]) Contains(x T) bool {
+	_, ok := l.pos[x]
+	return ok
+}
+
+// Insert places x at its sorted position (after any equal elements, so
+// insertion order breaks ties — matching the FIFO tie-break of a kernel run
+// queue). It panics if x is already present; run queues never hold
+// duplicates, so a duplicate insert is a lifecycle bug worth failing loudly
+// on.
+func (l *List[T]) Insert(x T) {
+	if _, ok := l.pos[x]; ok {
+		panic(fmt.Sprintf("runqueue: duplicate insert of %v", x))
+	}
+	n := &node[T]{val: x}
+	l.pos[x] = n
+	// Scan from the tail: arriving threads usually carry recent (large)
+	// tags, so the expected scan is short for start-tag and surplus queues.
+	cur := l.tail
+	for cur != nil && l.less(x, cur.val) {
+		cur = cur.prev
+	}
+	l.insertAfter(n, cur)
+}
+
+// insertAfter links n immediately after cur (cur == nil means at the head).
+func (l *List[T]) insertAfter(n, cur *node[T]) {
+	if cur == nil {
+		n.next = l.head
+		n.prev = nil
+		if l.head != nil {
+			l.head.prev = n
+		}
+		l.head = n
+		if l.tail == nil {
+			l.tail = n
+		}
+		return
+	}
+	n.prev = cur
+	n.next = cur.next
+	cur.next = n
+	if n.next != nil {
+		n.next.prev = n
+	} else {
+		l.tail = n
+	}
+}
+
+// Remove unlinks x in O(1). It reports whether x was present.
+func (l *List[T]) Remove(x T) bool {
+	n, ok := l.pos[x]
+	if !ok {
+		return false
+	}
+	delete(l.pos, x)
+	l.unlink(n)
+	return true
+}
+
+func (l *List[T]) unlink(n *node[T]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// Head returns the least element without removing it.
+func (l *List[T]) Head() (T, bool) {
+	if l.head == nil {
+		var zero T
+		return zero, false
+	}
+	return l.head.val, true
+}
+
+// Tail returns the greatest element without removing it.
+func (l *List[T]) Tail() (T, bool) {
+	if l.tail == nil {
+		var zero T
+		return zero, false
+	}
+	return l.tail.val, true
+}
+
+// Fix repositions x after its key changed; O(distance moved). It reports
+// whether x was present.
+func (l *List[T]) Fix(x T) bool {
+	n, ok := l.pos[x]
+	if !ok {
+		return false
+	}
+	// Fast path: already in order relative to neighbours.
+	if (n.prev == nil || !l.less(n.val, n.prev.val)) &&
+		(n.next == nil || !l.less(n.next.val, n.val)) {
+		return true
+	}
+	l.unlink(n)
+	cur := l.tail
+	for cur != nil && l.less(x, cur.val) {
+		cur = cur.prev
+	}
+	l.insertAfter(n, cur)
+	return true
+}
+
+// ReSort restores sorted order after many keys changed at once, using
+// insertion sort on the linked list. The paper chooses insertion sort
+// because recomputing surpluses after a virtual-time change leaves the queue
+// mostly sorted (§3.2), where insertion sort approaches linear time.
+func (l *List[T]) ReSort() {
+	if l.head == nil {
+		return
+	}
+	cur := l.head.next
+	for cur != nil {
+		next := cur.next
+		if l.less(cur.val, cur.prev.val) {
+			// Walk backwards to the insertion point.
+			at := cur.prev
+			for at != nil && l.less(cur.val, at.val) {
+				at = at.prev
+			}
+			l.unlink(cur)
+			l.insertAfter(cur, at)
+		}
+		cur = next
+	}
+}
+
+// Each calls fn on elements in ascending order until fn returns false.
+func (l *List[T]) Each(fn func(T) bool) {
+	for n := l.head; n != nil; n = n.next {
+		if !fn(n.val) {
+			return
+		}
+	}
+}
+
+// EachReverse calls fn on elements in descending order until fn returns
+// false. The paper's heuristic scans the weight queue backwards this way
+// (lightest weights first).
+func (l *List[T]) EachReverse(fn func(T) bool) {
+	for n := l.tail; n != nil; n = n.prev {
+		if !fn(n.val) {
+			return
+		}
+	}
+}
+
+// FirstN returns up to n elements from the front, in order.
+func (l *List[T]) FirstN(n int) []T {
+	out := make([]T, 0, n)
+	for cur := l.head; cur != nil && len(out) < n; cur = cur.next {
+		out = append(out, cur.val)
+	}
+	return out
+}
+
+// LastN returns up to n elements from the back, in reverse order (the
+// least-weight end of the descending weight queue).
+func (l *List[T]) LastN(n int) []T {
+	out := make([]T, 0, n)
+	for cur := l.tail; cur != nil && len(out) < n; cur = cur.prev {
+		out = append(out, cur.val)
+	}
+	return out
+}
+
+// Slice returns all elements in ascending order (for tests and metrics).
+func (l *List[T]) Slice() []T {
+	out := make([]T, 0, len(l.pos))
+	for n := l.head; n != nil; n = n.next {
+		out = append(out, n.val)
+	}
+	return out
+}
+
+// Validate checks structural invariants: forward/backward consistency, map
+// agreement, and sorted order. Used by tests and the simulator's paranoia
+// mode.
+func (l *List[T]) Validate() error {
+	count := 0
+	var prev *node[T]
+	for n := l.head; n != nil; n = n.next {
+		if n.prev != prev {
+			return errors.New("runqueue: broken prev link")
+		}
+		if m, ok := l.pos[n.val]; !ok || m != n {
+			return errors.New("runqueue: index out of sync")
+		}
+		if prev != nil && l.less(n.val, prev.val) {
+			return fmt.Errorf("runqueue: order violated at %v", n.val)
+		}
+		prev = n
+		count++
+		if count > len(l.pos) {
+			return errors.New("runqueue: cycle detected")
+		}
+	}
+	if prev != l.tail {
+		return errors.New("runqueue: tail out of sync")
+	}
+	if count != len(l.pos) {
+		return fmt.Errorf("runqueue: length mismatch: walked %d, index %d", count, len(l.pos))
+	}
+	return nil
+}

@@ -1,0 +1,402 @@
+package runqueue
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sfsched/internal/xrand"
+)
+
+// item is a mutable-key element for list tests.
+type item struct {
+	id  int
+	key float64
+}
+
+func byKey(a, b *item) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.id < b.id
+}
+
+func newItems(keys ...float64) []*item {
+	out := make([]*item, len(keys))
+	for i, k := range keys {
+		out[i] = &item{id: i, key: k}
+	}
+	return out
+}
+
+func keysOf(s []*item) []float64 {
+	out := make([]float64, len(s))
+	for i, it := range s {
+		out[i] = it.key
+	}
+	return out
+}
+
+func TestListInsertSorted(t *testing.T) {
+	l := NewList(byKey)
+	for _, it := range newItems(5, 1, 3, 2, 4) {
+		l.Insert(it)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := keysOf(l.Slice())
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestListHeadTail(t *testing.T) {
+	l := NewList(byKey)
+	if _, ok := l.Head(); ok {
+		t.Fatal("empty list has a head")
+	}
+	if _, ok := l.Tail(); ok {
+		t.Fatal("empty list has a tail")
+	}
+	items := newItems(2, 9, 4)
+	for _, it := range items {
+		l.Insert(it)
+	}
+	if h, _ := l.Head(); h.key != 2 {
+		t.Fatalf("head %g", h.key)
+	}
+	if tl, _ := l.Tail(); tl.key != 9 {
+		t.Fatalf("tail %g", tl.key)
+	}
+}
+
+func TestListRemove(t *testing.T) {
+	l := NewList(byKey)
+	items := newItems(1, 2, 3)
+	for _, it := range items {
+		l.Insert(it)
+	}
+	if !l.Remove(items[1]) {
+		t.Fatal("Remove returned false for present element")
+	}
+	if l.Remove(items[1]) {
+		t.Fatal("Remove returned true for absent element")
+	}
+	if l.Contains(items[1]) {
+		t.Fatal("removed element still present")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestListDuplicatePanics(t *testing.T) {
+	l := NewList(byKey)
+	it := &item{id: 1, key: 1}
+	l.Insert(it)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate insert did not panic")
+		}
+	}()
+	l.Insert(it)
+}
+
+func TestListFIFOTieBreakByInsertion(t *testing.T) {
+	// Equal keys: later insertions land after earlier ones.
+	l := NewList(func(a, b *item) bool { return a.key < b.key })
+	a := &item{id: 1, key: 5}
+	b := &item{id: 2, key: 5}
+	l.Insert(a)
+	l.Insert(b)
+	s := l.Slice()
+	if s[0] != a || s[1] != b {
+		t.Fatal("tie-break is not FIFO")
+	}
+}
+
+func TestListFix(t *testing.T) {
+	l := NewList(byKey)
+	items := newItems(1, 2, 3, 4)
+	for _, it := range items {
+		l.Insert(it)
+	}
+	items[0].key = 10 // was the head; now the tail
+	if !l.Fix(items[0]) {
+		t.Fatal("Fix returned false")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tl, _ := l.Tail(); tl != items[0] {
+		t.Fatal("Fix did not move element to tail")
+	}
+	if l.Fix(&item{id: 99}) {
+		t.Fatal("Fix on absent element returned true")
+	}
+}
+
+func TestListReSort(t *testing.T) {
+	l := NewList(byKey)
+	items := newItems(1, 2, 3, 4, 5)
+	for _, it := range items {
+		l.Insert(it)
+	}
+	// Mutate all keys (what a virtual-time change does to surpluses).
+	items[0].key = 7
+	items[2].key = 0
+	items[4].key = 3.5
+	l.ReSort()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListEachAndFirstN(t *testing.T) {
+	l := NewList(byKey)
+	for _, it := range newItems(3, 1, 2) {
+		l.Insert(it)
+	}
+	var seen []float64
+	l.Each(func(it *item) bool {
+		seen = append(seen, it.key)
+		return true
+	})
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Fatalf("Each order %v", seen)
+	}
+	seen = seen[:0]
+	l.Each(func(it *item) bool {
+		seen = append(seen, it.key)
+		return false
+	})
+	if len(seen) != 1 {
+		t.Fatal("Each did not stop")
+	}
+	if got := keysOf(l.FirstN(2)); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("FirstN %v", got)
+	}
+	if got := keysOf(l.FirstN(10)); len(got) != 3 {
+		t.Fatalf("FirstN overflow %v", got)
+	}
+	if got := keysOf(l.LastN(2)); got[0] != 3 || got[1] != 2 {
+		t.Fatalf("LastN %v", got)
+	}
+	var rev []float64
+	l.EachReverse(func(it *item) bool {
+		rev = append(rev, it.key)
+		return true
+	})
+	if rev[0] != 3 || rev[2] != 1 {
+		t.Fatalf("EachReverse %v", rev)
+	}
+}
+
+// TestListRandomOps drives the list with a random operation mix and checks
+// invariants after every step (the property test backing the §3.1 queue
+// machinery).
+func TestListRandomOps(t *testing.T) {
+	r := xrand.New(99)
+	l := NewList(byKey)
+	var pool []*item
+	id := 0
+	for step := 0; step < 5000; step++ {
+		switch op := r.Intn(10); {
+		case op < 4: // insert
+			id++
+			it := &item{id: id, key: r.Float64() * 100}
+			pool = append(pool, it)
+			l.Insert(it)
+		case op < 6 && len(pool) > 0: // remove
+			i := r.Intn(len(pool))
+			l.Remove(pool[i])
+			pool = append(pool[:i], pool[i+1:]...)
+		case op < 8 && len(pool) > 0: // mutate + fix
+			it := pool[r.Intn(len(pool))]
+			it.key = r.Float64() * 100
+			l.Fix(it)
+		default: // bulk mutate + resort
+			for _, it := range pool {
+				if r.Intn(3) == 0 {
+					it.key += r.Float64()*10 - 5
+				}
+			}
+			l.ReSort()
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if l.Len() != len(pool) {
+			t.Fatalf("step %d: len %d, want %d", step, l.Len(), len(pool))
+		}
+	}
+}
+
+func TestHeapBasics(t *testing.T) {
+	h := NewHeap(byKey)
+	items := newItems(5, 1, 4, 2, 3)
+	for _, it := range items {
+		h.Push(it)
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if m, _ := h.Min(); m.key != 1 {
+		t.Fatalf("Min %g", m.key)
+	}
+	if !h.Contains(items[0]) {
+		t.Fatal("Contains false for present")
+	}
+	if !h.Remove(items[1]) { // the key-1 element
+		t.Fatal("Remove failed")
+	}
+	if m, _ := h.Min(); m.key != 2 {
+		t.Fatalf("Min after remove %g", m.key)
+	}
+	items[0].key = 0 // key 5 -> 0
+	h.Fix(items[0])
+	if m, _ := h.Min(); m != items[0] {
+		t.Fatal("Fix did not float element up")
+	}
+}
+
+func TestHeapEmptyMin(t *testing.T) {
+	h := NewHeap(byKey)
+	if _, ok := h.Min(); ok {
+		t.Fatal("empty heap has a min")
+	}
+	if h.Remove(&item{}) {
+		t.Fatal("Remove on empty heap returned true")
+	}
+}
+
+func TestHeapDuplicatePanics(t *testing.T) {
+	h := NewHeap(byKey)
+	it := &item{id: 1}
+	h.Push(it)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate push did not panic")
+		}
+	}()
+	h.Push(it)
+}
+
+// TestHeapMatchesSort drains random heaps and checks sorted output.
+func TestHeapMatchesSort(t *testing.T) {
+	r := xrand.New(123)
+	for trial := 0; trial < 50; trial++ {
+		h := NewHeap(byKey)
+		n := 1 + r.Intn(100)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = r.Float64() * 1000
+			h.Push(&item{id: i, key: keys[i]})
+		}
+		sort.Float64s(keys)
+		for i := 0; i < n; i++ {
+			m, ok := h.Min()
+			if !ok || m.key != keys[i] {
+				t.Fatalf("trial %d: drain %d got %v want %g", trial, i, m, keys[i])
+			}
+			h.Remove(m)
+		}
+	}
+}
+
+// TestHeapRandomOps mirrors the list property test for the heap backing.
+func TestHeapRandomOps(t *testing.T) {
+	r := xrand.New(321)
+	h := NewHeap(byKey)
+	var pool []*item
+	id := 0
+	for step := 0; step < 5000; step++ {
+		switch op := r.Intn(10); {
+		case op < 5:
+			id++
+			it := &item{id: id, key: r.Float64() * 100}
+			pool = append(pool, it)
+			h.Push(it)
+		case op < 7 && len(pool) > 0:
+			i := r.Intn(len(pool))
+			h.Remove(pool[i])
+			pool = append(pool[:i], pool[i+1:]...)
+		case len(pool) > 0:
+			it := pool[r.Intn(len(pool))]
+			it.key = r.Float64() * 100
+			h.Fix(it)
+		}
+		if h.Len() != len(pool) {
+			t.Fatalf("step %d: len %d, want %d", step, h.Len(), len(pool))
+		}
+		// Min must match a linear scan.
+		if len(pool) > 0 {
+			best := pool[0]
+			for _, it := range pool[1:] {
+				if byKey(it, best) {
+					best = it
+				}
+			}
+			if m, _ := h.Min(); m.key != best.key {
+				t.Fatalf("step %d: heap min %g, scan min %g", step, m.key, best.key)
+			}
+		}
+	}
+}
+
+func TestListSortedAfterArbitraryInserts(t *testing.T) {
+	// testing/quick property: any insertion order yields a sorted list
+	// with all elements present.
+	f := func(keys []float64) bool {
+		l := NewList(byKey)
+		for i, k := range keys {
+			l.Insert(&item{id: i, key: k})
+		}
+		if l.Len() != len(keys) {
+			return false
+		}
+		s := l.Slice()
+		for i := 1; i < len(s); i++ {
+			if byKey(s[i], s[i-1]) {
+				return false
+			}
+		}
+		return l.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapMinIsGlobalMin(t *testing.T) {
+	f := func(keys []float64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		h := NewHeap(byKey)
+		best := &item{id: 0, key: keys[0]}
+		h.Push(best)
+		for i := 1; i < len(keys); i++ {
+			it := &item{id: i, key: keys[i]}
+			h.Push(it)
+			if byKey(it, best) {
+				best = it
+			}
+		}
+		m, ok := h.Min()
+		return ok && m == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{
+		New:      "new",
+		Runnable: "runnable",
+		Blocked:  "blocked",
+		Exited:   "exited",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+	if got := State(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown state string %q", got)
+	}
+}
+
+func TestThreadRunning(t *testing.T) {
+	th := &Thread{CPU: NoCPU}
+	if th.Running() {
+		t.Fatal("NoCPU thread reported running")
+	}
+	th.CPU = 0
+	if !th.Running() {
+		t.Fatal("CPU 0 thread reported not running")
+	}
+}
+
+func TestThreadString(t *testing.T) {
+	named := &Thread{ID: 3, Name: "web", Weight: 2}
+	if got := named.String(); !strings.Contains(got, "web") || !strings.Contains(got, "w=2") {
+		t.Errorf("named thread string %q", got)
+	}
+	anon := &Thread{ID: 7, Weight: 1}
+	if got := anon.String(); !strings.Contains(got, "7") {
+		t.Errorf("anonymous thread string %q", got)
+	}
+}
+
+func TestValidWeight(t *testing.T) {
+	good := []float64{1, 0.001, 10000, 1e12}
+	for _, w := range good {
+		if !ValidWeight(w) {
+			t.Errorf("ValidWeight(%g) = false", w)
+		}
+	}
+	bad := []float64{0, -1, math.NaN(), math.Inf(1), 1e13}
+	for _, w := range bad {
+		if ValidWeight(w) {
+			t.Errorf("ValidWeight(%g) = true", w)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package sfq implements start-time fair queueing (SFQ) [Goyal, Guo, Vin;
+// OSDI'96] applied naively to a multiprocessor, the primary baseline of the
+// paper.
+//
+// SFQ assigns each thread a start tag S_i and finish tag F_i; a thread that
+// runs for q units advances to F_i = S_i + q/w_i, a newly arriving thread
+// receives the minimum start tag in the system (the virtual time v), and at
+// every scheduling instance the thread with the minimum start tag runs. On a
+// uniprocessor SFQ has strong fairness guarantees; on a multiprocessor it
+// suffers from the two defects the paper demonstrates:
+//
+//   - Infeasible weights (Example 1, Figure 1): a thread whose weight demands
+//     more than one processor's worth of bandwidth drags the virtual time
+//     down and starves light threads. WithReadjustment fixes this by basing
+//     tags on readjusted instantaneous weights φ_i (Figure 4).
+//   - Scheduling in "spurts" (Example 2, Figure 5): with frequent arrivals
+//     and departures, heavy threads and fresh short jobs monopolize the
+//     processors even when all weights are feasible. Only SFS
+//     (internal/core) fixes this.
+package sfq
+
+import (
+	"fmt"
+	"math"
+
+	"sfsched/internal/phi"
+	"sfsched/internal/runqueue"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+// SFQ is a multiprocessor start-time fair queueing scheduler. Not safe for
+// concurrent use.
+type SFQ struct {
+	p          int
+	quantum    simtime.Duration
+	weights    *phi.Tracker
+	byStart    *runqueue.List[*sched.Thread]
+	v          float64
+	lastFinish float64
+	decisions  int64
+}
+
+// Option configures an SFQ instance.
+type Option func(*cfg)
+
+type cfg struct {
+	quantum  simtime.Duration
+	readjust bool
+}
+
+// WithQuantum sets the maximum quantum granted per dispatch.
+func WithQuantum(q simtime.Duration) Option {
+	return func(c *cfg) { c.quantum = q }
+}
+
+// WithReadjustment couples SFQ with the paper's weight readjustment
+// algorithm (§2.1); tags then advance by q/φ_i instead of q/w_i.
+func WithReadjustment() Option {
+	return func(c *cfg) { c.readjust = true }
+}
+
+// New returns an SFQ scheduler for p processors. It panics if p < 1.
+func New(p int, opts ...Option) *SFQ {
+	if p < 1 {
+		panic(fmt.Sprintf("sfq: invalid processor count %d", p))
+	}
+	c := cfg{quantum: 200 * simtime.Millisecond}
+	for _, o := range opts {
+		o(&c)
+	}
+	s := &SFQ{
+		p:       p,
+		quantum: c.quantum,
+		weights: phi.NewTracker(p, c.readjust),
+	}
+	// Tie-break equal start tags by descending weight, then ID. The paper
+	// leaves tie-breaking arbitrary; favouring the heavier thread is what
+	// lets a newly arrived short task with a large weight run ahead of an
+	// equal-tagged crowd of weight-1 threads, the behaviour Example 2
+	// describes ("gets to run continuously on a processor until it
+	// departs").
+	s.byStart = runqueue.NewList(func(a, b *sched.Thread) bool {
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		return a.ID < b.ID
+	})
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *SFQ) Name() string {
+	if s.weights.Enabled() {
+		return "SFQ+readjust"
+	}
+	return "SFQ"
+}
+
+// NumCPU implements sched.Scheduler.
+func (s *SFQ) NumCPU() int { return s.p }
+
+// Runnable implements sched.Scheduler.
+func (s *SFQ) Runnable() int { return s.byStart.Len() }
+
+// VirtualTime returns the current virtual time (minimum start tag).
+func (s *SFQ) VirtualTime() float64 { return s.v }
+
+// Add implements sched.Scheduler: arrivals receive S_i = v, wakeups
+// S_i = max(F_i, v).
+func (s *SFQ) Add(t *sched.Thread, now simtime.Time) error {
+	if !sched.ValidWeight(t.Weight) {
+		return fmt.Errorf("%w: %g", sched.ErrBadWeight, t.Weight)
+	}
+	if s.byStart.Contains(t) {
+		return fmt.Errorf("%w: %v", sched.ErrAlreadyManaged, t)
+	}
+	t.Start = math.Max(t.Finish, s.v)
+	s.weights.Add(t)
+	s.byStart.Insert(t)
+	s.recomputeV()
+	return nil
+}
+
+// Remove implements sched.Scheduler.
+func (s *SFQ) Remove(t *sched.Thread, now simtime.Time) error {
+	if !s.byStart.Contains(t) {
+		return fmt.Errorf("%w: %v", sched.ErrNotManaged, t)
+	}
+	s.byStart.Remove(t)
+	s.weights.Remove(t)
+	s.recomputeV()
+	return nil
+}
+
+// Charge implements sched.Scheduler: F_i = S_i + q/φ_i; S_i = F_i.
+func (s *SFQ) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+	if ran < 0 {
+		panic("sfq: negative charge")
+	}
+	t.Service += ran
+	t.Finish = t.Start + ran.Seconds()/t.Phi
+	t.Start = t.Finish
+	s.lastFinish = t.Finish
+	if s.byStart.Contains(t) {
+		s.byStart.Fix(t)
+	}
+	s.recomputeV()
+}
+
+// Timeslice implements sched.Scheduler.
+func (s *SFQ) Timeslice(t *sched.Thread, now simtime.Time) simtime.Duration {
+	return s.quantum
+}
+
+// SetWeight implements sched.Scheduler.
+func (s *SFQ) SetWeight(t *sched.Thread, w float64, now simtime.Time) error {
+	if !sched.ValidWeight(w) {
+		return fmt.Errorf("%w: %g", sched.ErrBadWeight, w)
+	}
+	if !s.byStart.Contains(t) {
+		t.Weight = w
+		t.Phi = w
+		return nil
+	}
+	s.weights.UpdateWeight(t, w)
+	return nil
+}
+
+// Pick implements sched.Scheduler: the non-running thread with the minimum
+// start tag.
+func (s *SFQ) Pick(cpu int, now simtime.Time) *sched.Thread {
+	var best *sched.Thread
+	s.byStart.Each(func(t *sched.Thread) bool {
+		if t.Running() {
+			return true
+		}
+		best = t
+		return false
+	})
+	if best != nil {
+		s.decisions++
+		best.Decisions++
+	}
+	return best
+}
+
+// Less implements sched.Scheduler: smaller start tag wins.
+func (s *SFQ) Less(a, b *sched.Thread) bool { return a.Start < b.Start }
+
+// Threads returns the runnable threads in start-tag order.
+func (s *SFQ) Threads() []*sched.Thread { return s.byStart.Slice() }
+
+// Decisions returns the number of Pick calls that returned a thread.
+func (s *SFQ) Decisions() int64 { return s.decisions }
+
+func (s *SFQ) recomputeV() {
+	if head, ok := s.byStart.Head(); ok {
+		s.v = head.Start
+		return
+	}
+	s.v = s.lastFinish
+}

@@ -1,0 +1,179 @@
+// Package stride implements stride scheduling [Waldspurger & Weihl, 1995],
+// another GPS-based baseline the paper cites as suffering from the
+// infeasible-weights problem in multiprocessor environments (§1.2).
+//
+// Each thread has a stride inversely proportional to its weight and a pass
+// value that advances by stride × (q / quantum) when it runs for q; the
+// scheduler always runs the thread with the minimum pass. A thread joining
+// the runnable set starts at the global pass (the minimum pass in the
+// system), the standard remedy against sleeper credit. As with SFQ and BVT,
+// the readjustment option substitutes φ_i for w_i in the stride.
+package stride
+
+import (
+	"fmt"
+	"math"
+
+	"sfsched/internal/phi"
+	"sfsched/internal/runqueue"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+// Stride1 is the numerator used to derive strides from weights; any
+// consistent constant works in floating point.
+const Stride1 = 1.0
+
+// Stride is a stride scheduler for p processors. Not safe for concurrent
+// use.
+type Stride struct {
+	p          int
+	quantum    simtime.Duration
+	weights    *phi.Tracker
+	byPass     *runqueue.List[*sched.Thread]
+	globalPass float64
+	decisions  int64
+}
+
+// Option configures a Stride instance.
+type Option func(*cfg)
+
+type cfg struct {
+	quantum  simtime.Duration
+	readjust bool
+}
+
+// WithQuantum sets the maximum quantum granted per dispatch.
+func WithQuantum(q simtime.Duration) Option { return func(c *cfg) { c.quantum = q } }
+
+// WithReadjustment couples stride scheduling with weight readjustment.
+func WithReadjustment() Option { return func(c *cfg) { c.readjust = true } }
+
+// New returns a stride scheduler for p processors. It panics if p < 1.
+func New(p int, opts ...Option) *Stride {
+	if p < 1 {
+		panic(fmt.Sprintf("stride: invalid processor count %d", p))
+	}
+	c := cfg{quantum: 200 * simtime.Millisecond}
+	for _, o := range opts {
+		o(&c)
+	}
+	s := &Stride{
+		p:       p,
+		quantum: c.quantum,
+		weights: phi.NewTracker(p, c.readjust),
+	}
+	s.byPass = runqueue.NewList(func(a, b *sched.Thread) bool {
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.ID < b.ID
+	})
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *Stride) Name() string {
+	if s.weights.Enabled() {
+		return "stride+readjust"
+	}
+	return "stride"
+}
+
+// NumCPU implements sched.Scheduler.
+func (s *Stride) NumCPU() int { return s.p }
+
+// Runnable implements sched.Scheduler.
+func (s *Stride) Runnable() int { return s.byPass.Len() }
+
+// Add implements sched.Scheduler: a joining thread starts at the global
+// pass.
+func (s *Stride) Add(t *sched.Thread, now simtime.Time) error {
+	if !sched.ValidWeight(t.Weight) {
+		return fmt.Errorf("%w: %g", sched.ErrBadWeight, t.Weight)
+	}
+	if s.byPass.Contains(t) {
+		return fmt.Errorf("%w: %v", sched.ErrAlreadyManaged, t)
+	}
+	t.Pass = math.Max(t.Pass, s.globalPass)
+	s.weights.Add(t)
+	t.Stride = Stride1 / t.Phi
+	s.byPass.Insert(t)
+	return nil
+}
+
+// Remove implements sched.Scheduler.
+func (s *Stride) Remove(t *sched.Thread, now simtime.Time) error {
+	if !s.byPass.Contains(t) {
+		return fmt.Errorf("%w: %v", sched.ErrNotManaged, t)
+	}
+	s.byPass.Remove(t)
+	s.weights.Remove(t)
+	s.recomputeGlobal()
+	return nil
+}
+
+// Charge implements sched.Scheduler: pass advances in proportion to the
+// fraction of the quantum consumed.
+func (s *Stride) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+	if ran < 0 {
+		panic("stride: negative charge")
+	}
+	t.Service += ran
+	t.Stride = Stride1 / t.Phi
+	t.Pass += t.Stride * float64(ran) / float64(s.quantum)
+	if s.byPass.Contains(t) {
+		s.byPass.Fix(t)
+	}
+	s.recomputeGlobal()
+}
+
+// Timeslice implements sched.Scheduler.
+func (s *Stride) Timeslice(t *sched.Thread, now simtime.Time) simtime.Duration {
+	return s.quantum
+}
+
+// SetWeight implements sched.Scheduler.
+func (s *Stride) SetWeight(t *sched.Thread, w float64, now simtime.Time) error {
+	if !sched.ValidWeight(w) {
+		return fmt.Errorf("%w: %g", sched.ErrBadWeight, w)
+	}
+	if !s.byPass.Contains(t) {
+		t.Weight = w
+		t.Phi = w
+		t.Stride = Stride1 / w
+		return nil
+	}
+	s.weights.UpdateWeight(t, w)
+	t.Stride = Stride1 / t.Phi
+	return nil
+}
+
+// Pick implements sched.Scheduler: minimum pass among non-running threads.
+func (s *Stride) Pick(cpu int, now simtime.Time) *sched.Thread {
+	var best *sched.Thread
+	s.byPass.Each(func(t *sched.Thread) bool {
+		if t.Running() {
+			return true
+		}
+		best = t
+		return false
+	})
+	if best != nil {
+		s.decisions++
+		best.Decisions++
+	}
+	return best
+}
+
+// Less implements sched.Scheduler: smaller pass wins.
+func (s *Stride) Less(a, b *sched.Thread) bool { return a.Pass < b.Pass }
+
+// Threads returns the runnable threads in pass order.
+func (s *Stride) Threads() []*sched.Thread { return s.byPass.Slice() }
+
+func (s *Stride) recomputeGlobal() {
+	if head, ok := s.byPass.Head(); ok {
+		s.globalPass = head.Pass
+	}
+}

@@ -1,0 +1,170 @@
+package stride
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+func mkThread(id int, w float64) *sched.Thread {
+	return &sched.Thread{ID: id, Weight: w, Phi: w,
+		CPU: sched.NoCPU, LastCPU: sched.NoCPU, State: sched.Runnable}
+}
+
+func run(t *testing.T, s *Stride, p, rounds int, q simtime.Duration) {
+	t.Helper()
+	now := simtime.Time(0)
+	for i := 0; i < rounds; i++ {
+		var running []*sched.Thread
+		for c := 0; c < p; c++ {
+			th := s.Pick(c, now)
+			if th == nil {
+				break
+			}
+			th.CPU = c
+			running = append(running, th)
+		}
+		now = now.Add(q)
+		for _, th := range running {
+			s.Charge(th, q, now)
+			th.CPU = sched.NoCPU
+		}
+	}
+}
+
+func TestStrideInverseToWeight(t *testing.T) {
+	s := New(1)
+	a := mkThread(1, 4)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stride != Stride1/4 {
+		t.Fatalf("stride %g", a.Stride)
+	}
+}
+
+func TestProportionalAllocation(t *testing.T) {
+	s := New(1, WithQuantum(10*simtime.Millisecond))
+	a := mkThread(1, 3)
+	b := mkThread(2, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	run(t, s, 1, 4000, 10*simtime.Millisecond)
+	ratio := a.Service.Seconds() / b.Service.Seconds()
+	if math.Abs(ratio-3) > 0.1 {
+		t.Fatalf("ratio %.3f, want ~3", ratio)
+	}
+}
+
+func TestPartialQuantumAdvancesPassProportionally(t *testing.T) {
+	s := New(1, WithQuantum(100*simtime.Millisecond))
+	a := mkThread(1, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Charge(a, 50*simtime.Millisecond, 0) // half a quantum
+	if math.Abs(a.Pass-0.5*a.Stride) > 1e-12 {
+		t.Fatalf("pass %g, want half a stride", a.Pass)
+	}
+}
+
+func TestNewcomerStartsAtGlobalPass(t *testing.T) {
+	s := New(1)
+	a := mkThread(1, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Charge(a, 200*simtime.Millisecond, 0)
+	}
+	b := mkThread(2, 1)
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pass != a.Pass {
+		t.Fatalf("newcomer pass %g, global %g", b.Pass, a.Pass)
+	}
+}
+
+func TestReadjustmentOption(t *testing.T) {
+	s := New(2, WithReadjustment())
+	a := mkThread(1, 1)
+	b := mkThread(2, 10)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Phi != 1 || b.Stride != Stride1 {
+		t.Fatalf("φ=%g stride=%g, want 1, %g", b.Phi, b.Stride, Stride1)
+	}
+	if s.Name() != "stride+readjust" {
+		t.Fatalf("name %q", s.Name())
+	}
+	if New(2).Name() != "stride" {
+		t.Fatal("plain name")
+	}
+}
+
+func TestSetWeightUpdatesStride(t *testing.T) {
+	s := New(2)
+	a := mkThread(1, 1)
+	b := mkThread(2, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetWeight(a, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stride != Stride1/2 {
+		t.Fatalf("stride %g", a.Stride)
+	}
+	// Blocked thread: weight stored for later.
+	c := mkThread(3, 1)
+	if err := s.SetWeight(c, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stride != Stride1/4 {
+		t.Fatalf("blocked stride %g", c.Stride)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New(2)
+	a := mkThread(1, 1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(a, 0); !errors.Is(err, sched.ErrAlreadyManaged) {
+		t.Fatalf("double add: %v", err)
+	}
+	if err := s.Remove(mkThread(9, 1), 0); !errors.Is(err, sched.ErrNotManaged) {
+		t.Fatalf("remove unmanaged: %v", err)
+	}
+	if err := s.Add(mkThread(2, 0), 0); !errors.Is(err, sched.ErrBadWeight) {
+		t.Fatalf("bad weight: %v", err)
+	}
+	if err := s.SetWeight(a, -1, 0); !errors.Is(err, sched.ErrBadWeight) {
+		t.Fatalf("bad setweight: %v", err)
+	}
+	if s.NumCPU() != 2 || s.Runnable() != 1 || len(s.Threads()) != 1 {
+		t.Fatal("accessors")
+	}
+	if !s.Less(&sched.Thread{Pass: 1}, &sched.Thread{Pass: 2}) {
+		t.Fatal("Less")
+	}
+	if got := s.Timeslice(a, 0); got != 200*simtime.Millisecond {
+		t.Fatalf("timeslice %v", got)
+	}
+}

@@ -1,0 +1,258 @@
+package timeshare
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+func mkThread(id int) *sched.Thread {
+	return &sched.Thread{ID: id, Weight: 1, Phi: 1,
+		CPU: sched.NoCPU, LastCPU: sched.NoCPU, State: sched.Runnable}
+}
+
+func TestAddInitializesCounter(t *testing.T) {
+	s := New(2)
+	a := mkThread(1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Priority != DefaultPriority {
+		t.Fatalf("priority %d", a.Priority)
+	}
+	if a.Counter != DefaultPriority {
+		t.Fatalf("counter %d", a.Counter)
+	}
+}
+
+func TestPickMaxGoodness(t *testing.T) {
+	s := New(1)
+	a := mkThread(1)
+	b := mkThread(2)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Deplete a's counter partially: b now has higher goodness.
+	s.Charge(a, 100*simtime.Millisecond, 0) // 10 ticks
+	if got := s.Pick(0, 0); got != b {
+		t.Fatalf("Pick = %v, want thread 2", got)
+	}
+}
+
+func TestEpochRecharge(t *testing.T) {
+	s := New(1)
+	a := mkThread(1)
+	b := mkThread(2)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust both counters fully.
+	s.Charge(a, simtime.Duration(DefaultPriority)*Tick, 0)
+	s.Charge(b, simtime.Duration(DefaultPriority)*Tick, 0)
+	if a.Counter != 0 || b.Counter != 0 {
+		t.Fatalf("counters %d, %d", a.Counter, b.Counter)
+	}
+	// The next Pick must start a new epoch and recharge.
+	if got := s.Pick(0, 0); got == nil {
+		t.Fatal("Pick returned nil at epoch boundary")
+	}
+	if s.Epochs() != 1 {
+		t.Fatalf("epochs %d", s.Epochs())
+	}
+	if a.Counter != DefaultPriority || b.Counter != DefaultPriority {
+		t.Fatalf("recharged counters %d, %d", a.Counter, b.Counter)
+	}
+}
+
+func TestBlockedThreadsBankCounter(t *testing.T) {
+	// A thread that sleeps across an epoch gets counter/2 + priority —
+	// the interactive boost.
+	s := New(1)
+	a := mkThread(1)
+	sleeper := mkThread(2)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(sleeper, 0); err != nil {
+		t.Fatal(err)
+	}
+	sleeper.State = sched.Blocked
+	if err := s.Remove(sleeper, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Run epochs while the sleeper sleeps.
+	for epoch := 0; epoch < 3; epoch++ {
+		s.Charge(a, simtime.Duration(a.Counter)*Tick, 0)
+		if got := s.Pick(0, 0); got != a {
+			t.Fatalf("Pick = %v", got)
+		}
+	}
+	if sleeper.Counter <= DefaultPriority {
+		t.Fatalf("sleeper counter %d, want > priority (banked)", sleeper.Counter)
+	}
+	if sleeper.Counter > 2*DefaultPriority {
+		t.Fatalf("sleeper counter %d exceeds the 2×priority bound", sleeper.Counter)
+	}
+	// On wakeup the sleeper beats the CPU hog.
+	sleeper.State = sched.Runnable
+	if err := s.Add(sleeper, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Less(sleeper, a) {
+		t.Fatal("woken sleeper should have higher goodness")
+	}
+}
+
+func TestSubTickBurstsAreFree(t *testing.T) {
+	// Tick-sampled accounting: bursts shorter than a tick do not consume
+	// counter, reproducing the 2.2 kernel's bias toward I/O-bound work.
+	s := New(1)
+	a := mkThread(1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Counter
+	s.Charge(a, 5*simtime.Millisecond, 0)
+	if a.Counter != before {
+		t.Fatalf("sub-tick burst consumed counter: %d -> %d", before, a.Counter)
+	}
+	if a.Service != 5*simtime.Millisecond {
+		t.Fatal("service not accounted")
+	}
+}
+
+func TestTimesliceIsRemainingCounter(t *testing.T) {
+	s := New(1)
+	a := mkThread(1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Timeslice(a, 0); got != simtime.Duration(DefaultPriority)*Tick {
+		t.Fatalf("Timeslice = %v", got)
+	}
+	s.Charge(a, 5*Tick, 0)
+	if got := s.Timeslice(a, 0); got != simtime.Duration(DefaultPriority-5)*Tick {
+		t.Fatalf("Timeslice after charge = %v", got)
+	}
+}
+
+func TestWeightsIgnored(t *testing.T) {
+	// Time sharing has no proportional shares: two compute-bound threads
+	// with weights 1 and 10 receive equal service.
+	s := New(1)
+	a := mkThread(1)
+	b := mkThread(2)
+	b.Weight = 10
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := simtime.Time(0)
+	for i := 0; i < 2000; i++ {
+		th := s.Pick(0, now)
+		if th == nil {
+			t.Fatal("idle")
+		}
+		th.CPU = 0
+		q := s.Timeslice(th, now)
+		if q > 50*Tick {
+			q = 50 * Tick
+		}
+		now = now.Add(q)
+		s.Charge(th, q, now)
+		th.CPU = sched.NoCPU
+	}
+	ratio := a.Service.Seconds() / b.Service.Seconds()
+	if math.Abs(ratio-1) > 0.1 {
+		t.Fatalf("service ratio %.3f, want ~1 (weights ignored)", ratio)
+	}
+}
+
+func TestExitForgetsThread(t *testing.T) {
+	s := New(1)
+	a := mkThread(1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	a.State = sched.Exited
+	if err := s.Remove(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding after exit reinitializes the counter.
+	a.Counter = 0
+	a.State = sched.Runnable
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Counter != DefaultPriority {
+		t.Fatalf("counter after re-add %d", a.Counter)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New(2)
+	a := mkThread(1)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(a, 0); !errors.Is(err, sched.ErrAlreadyManaged) {
+		t.Fatalf("double add: %v", err)
+	}
+	if err := s.Remove(mkThread(9), 0); !errors.Is(err, sched.ErrNotManaged) {
+		t.Fatalf("remove unmanaged: %v", err)
+	}
+	bad := mkThread(3)
+	bad.Weight = -1
+	if err := s.Add(bad, 0); !errors.Is(err, sched.ErrBadWeight) {
+		t.Fatalf("bad weight: %v", err)
+	}
+}
+
+func TestPickSkipsRunning(t *testing.T) {
+	s := New(2)
+	a := mkThread(1)
+	b := mkThread(2)
+	if err := s.Add(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Pick(0, 0)
+	first.CPU = 0
+	second := s.Pick(1, 0)
+	if second == first || second == nil {
+		t.Fatalf("second pick %v", second)
+	}
+	second.CPU = 1
+	if s.Pick(0, 0) != nil {
+		t.Fatal("picked with everyone running")
+	}
+}
+
+func TestNameAndCounts(t *testing.T) {
+	s := New(2)
+	if s.Name() != "timeshare" {
+		t.Fatal("name")
+	}
+	if s.NumCPU() != 2 {
+		t.Fatal("cpus")
+	}
+	if s.Runnable() != 0 {
+		t.Fatal("runnable")
+	}
+	if err := s.SetWeight(mkThread(1), 4, 0); err != nil {
+		t.Fatal(err)
+	}
+}

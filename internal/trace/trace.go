@@ -1,0 +1,179 @@
+// Package trace records scheduling events and exports experiment data in
+// machine-readable form (CSV), so that the paper's figures can be
+// regenerated as plots by external tooling (gnuplot, matplotlib) from
+// cmd/paperbench -csv output.
+//
+// The Recorder attaches to a machine through its lifecycle hooks and keeps a
+// bounded in-memory log; Series writers turn metrics.Series into the
+// two-column CSVs the paper's figures plot.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sfsched/internal/machine"
+	"sfsched/internal/metrics"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+// Kind labels a recorded scheduling event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Runnable marks an arrival or wakeup.
+	Runnable Kind = iota
+	// Unrunnable marks a blocking event or exit.
+	Unrunnable
+	// Charged marks a service accounting event (quantum end, preemption,
+	// block).
+	Charged
+)
+
+// String returns the event kind's CSV label.
+func (k Kind) String() string {
+	switch k {
+	case Runnable:
+		return "runnable"
+	case Unrunnable:
+		return "unrunnable"
+	case Charged:
+		return "charged"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded scheduling event.
+type Event struct {
+	At     simtime.Time
+	Kind   Kind
+	Thread int    // thread ID
+	Name   string // thread name
+	Ran    simtime.Duration
+	State  sched.State
+}
+
+// Recorder captures machine lifecycle events into a bounded log. When the
+// limit is reached the recorder stops appending and counts drops — scheduling
+// analysis wants the head of the run, and unbounded logs would dominate
+// memory on long simulations.
+type Recorder struct {
+	events  []Event
+	limit   int
+	dropped int64
+}
+
+// NewRecorder returns a recorder holding at most limit events (<=0 means a
+// default of 1<<20).
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{limit: limit}
+}
+
+// Hooks returns machine hooks that feed this recorder; pass to
+// Machine.SetHooks (or merge with other hooks manually).
+func (r *Recorder) Hooks() machine.Hooks {
+	return machine.Hooks{
+		Runnable: func(t *sched.Thread, now simtime.Time) {
+			r.add(Event{At: now, Kind: Runnable, Thread: t.ID, Name: t.Name, State: t.State})
+		},
+		Unrunnable: func(t *sched.Thread, now simtime.Time) {
+			r.add(Event{At: now, Kind: Unrunnable, Thread: t.ID, Name: t.Name, State: t.State})
+		},
+		Charged: func(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+			r.add(Event{At: now, Kind: Charged, Thread: t.ID, Name: t.Name, Ran: ran, State: t.State})
+		},
+	}
+}
+
+func (r *Recorder) add(e Event) {
+	if len(r.events) >= r.limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many events exceeded the limit.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// WriteCSV emits the event log as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "time_s,kind,thread,name,ran_us,state\n"); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		row := strings.Join([]string{
+			strconv.FormatFloat(e.At.Seconds(), 'f', 6, 64),
+			e.Kind.String(),
+			strconv.Itoa(e.Thread),
+			csvEscape(e.Name),
+			strconv.FormatInt(e.Ran.Microseconds(), 10),
+			e.State.String(),
+		}, ",")
+		if _, err := io.WriteString(w, row+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes one or more aligned series as a CSV table: the first
+// column is X (seconds), one column per series. Series need not have
+// identical lengths; missing cells are left empty.
+func WriteSeriesCSV(w io.Writer, series ...*metrics.Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	header := []string{"time_s"}
+	maxLen := 0
+	for _, s := range series {
+		header = append(header, csvEscape(s.Name))
+		if len(s.X) > maxLen {
+			maxLen = len(s.X)
+		}
+	}
+	if _, err := io.WriteString(w, strings.Join(header, ",")+"\n"); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(series)+1)
+		x := ""
+		for _, s := range series {
+			if i < len(s.X) {
+				x = strconv.FormatFloat(s.X[i], 'f', 6, 64)
+				break
+			}
+		}
+		row = append(row, x)
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := io.WriteString(w, strings.Join(row, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvEscape quotes a field if it contains CSV metacharacters.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

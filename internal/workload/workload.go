@@ -1,0 +1,182 @@
+// Package workload models the applications and benchmarks of the paper's
+// evaluation (§4.1) as machine.Behavior implementations:
+//
+//   - Inf: a compute-intensive application that performs computations in an
+//     infinite loop (also the model for disksim, a CPU-bound simulator).
+//   - Finite: a compute task of fixed total demand that then exits — the
+//     short Inf tasks of Figure 5 (300 ms each).
+//   - Interactive: the I/O-bound Interact application: think, run a short
+//     burst, repeat; response times are gathered with a Responses recorder.
+//   - Compile: a gcc-like job with compute bursts punctuated by short I/O
+//     waits, exiting after a total amount of work.
+//   - MPEG/Dhrystone: compute-bound loops whose figure-of-merit (frames or
+//     loops per second) is derived from delivered CPU service via LoopRate.
+//
+// Behaviours consume the machine's deterministic RNG, so runs are exactly
+// reproducible for a given seed.
+package workload
+
+import (
+	"sort"
+
+	"sfsched/internal/machine"
+	"sfsched/internal/simtime"
+	"sfsched/internal/xrand"
+)
+
+// Inf returns the behaviour of a compute-bound thread that never blocks and
+// never exits (the paper's Inf application).
+func Inf() machine.Behavior {
+	return machine.BehaviorFunc(func(now simtime.Time, r *xrand.Rand) machine.Step {
+		return machine.Step{Burst: simtime.Infinity, Then: machine.ThenBlock, Sleep: 0}
+	})
+}
+
+// Finite returns a compute-bound task that consumes total CPU time and
+// exits — the short tasks of Figure 5 and Example 2.
+func Finite(total simtime.Duration) machine.Behavior {
+	return machine.BehaviorFunc(func(now simtime.Time, r *xrand.Rand) machine.Step {
+		return machine.Step{Burst: total, Then: machine.ThenExit}
+	})
+}
+
+// Periodic returns a task alternating fixed CPU bursts with fixed sleeps,
+// forever. With think >> burst this is an interactive process; with
+// think == 0 it is a compute-bound process that still churns the runnable
+// set at every boundary.
+func Periodic(burst, think simtime.Duration) machine.Behavior {
+	return machine.BehaviorFunc(func(now simtime.Time, r *xrand.Rand) machine.Step {
+		return machine.Step{Burst: burst, Then: machine.ThenBlock, Sleep: think}
+	})
+}
+
+// Interactive returns the Interact application: exponentially distributed
+// think times around meanThink separating short bursts around meanBurst
+// (also exponential, floored at 100 µs so a burst is never free).
+func Interactive(meanBurst, meanThink simtime.Duration) machine.Behavior {
+	return machine.BehaviorFunc(func(now simtime.Time, r *xrand.Rand) machine.Step {
+		burst := simtime.Duration(float64(meanBurst) * r.ExpFloat64())
+		if burst < 100*simtime.Microsecond {
+			burst = 100 * simtime.Microsecond
+		}
+		think := simtime.Duration(float64(meanThink) * r.ExpFloat64())
+		return machine.Step{Burst: burst, Then: machine.ThenBlock, Sleep: think}
+	})
+}
+
+// Compile returns a gcc-like compilation job: compute bursts with a mean of
+// meanBurst separated by short I/O stalls with a mean of meanIO, finishing
+// after total CPU time. A parallel make is a set of these.
+func Compile(total, meanBurst, meanIO simtime.Duration) machine.Behavior {
+	done := simtime.Duration(0)
+	return machine.BehaviorFunc(func(now simtime.Time, r *xrand.Rand) machine.Step {
+		left := total - done
+		if left <= 0 {
+			return machine.Step{Burst: simtime.Microsecond, Then: machine.ThenExit}
+		}
+		burst := simtime.Duration(float64(meanBurst) * r.ExpFloat64())
+		if burst < simtime.Millisecond {
+			burst = simtime.Millisecond
+		}
+		if burst >= left {
+			done = total
+			return machine.Step{Burst: left, Then: machine.ThenExit}
+		}
+		done += burst
+		sleep := simtime.Duration(float64(meanIO) * r.ExpFloat64())
+		return machine.Step{Burst: burst, Then: machine.ThenBlock, Sleep: sleep}
+	})
+}
+
+// CompileForever returns an endless stream of gcc-like bursts (a repeated
+// build): compute bursts with mean meanBurst separated by I/O stalls with
+// mean meanIO.
+func CompileForever(meanBurst, meanIO simtime.Duration) machine.Behavior {
+	return machine.BehaviorFunc(func(now simtime.Time, r *xrand.Rand) machine.Step {
+		burst := simtime.Duration(float64(meanBurst) * r.ExpFloat64())
+		if burst < simtime.Millisecond {
+			burst = simtime.Millisecond
+		}
+		sleep := simtime.Duration(float64(meanIO) * r.ExpFloat64())
+		return machine.Step{Burst: burst, Then: machine.ThenBlock, Sleep: sleep}
+	})
+}
+
+// LoopRate converts delivered CPU service into an application-level rate:
+// loops (or frames) per second of wall-clock time, given the CPU cost of one
+// loop. This is how the experiments derive dhrystone loops/sec and MPEG
+// frames/sec from scheduler allocations.
+func LoopRate(service simtime.Duration, perLoop simtime.Duration, elapsed simtime.Duration) float64 {
+	if perLoop <= 0 || elapsed <= 0 {
+		return 0
+	}
+	loops := float64(service) / float64(perLoop)
+	return loops / elapsed.Seconds()
+}
+
+// Loops converts delivered CPU service into a cumulative loop count.
+func Loops(service simtime.Duration, perLoop simtime.Duration) float64 {
+	if perLoop <= 0 {
+		return 0
+	}
+	return float64(service) / float64(perLoop)
+}
+
+// Responses collects response-time samples for interactive tasks: the time
+// from a task's wakeup to the completion of the burst it woke up to run.
+type Responses struct {
+	samples []simtime.Duration
+}
+
+// Observe wires the recorder to a machine task: call from SpawnConfig's
+// OnBurstEnd with the task's wake time.
+//
+//	var rec workload.Responses
+//	task := m.Spawn(machine.SpawnConfig{ ... , OnBurstEnd: func(now simtime.Time) {
+//	        rec.Add(now.Sub(task.LastWake()))
+//	}})
+func (r *Responses) Add(d simtime.Duration) { r.samples = append(r.samples, d) }
+
+// Count returns the number of samples.
+func (r *Responses) Count() int { return len(r.samples) }
+
+// Mean returns the mean response time, or 0 with no samples.
+func (r *Responses) Mean() simtime.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum simtime.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / simtime.Duration(len(r.samples))
+}
+
+// Percentile returns the q-th percentile (0 < q <= 100) by nearest-rank, or
+// 0 with no samples.
+func (r *Responses) Percentile(q float64) simtime.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]simtime.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (r *Responses) Max() simtime.Duration {
+	var max simtime.Duration
+	for _, s := range r.samples {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"sfsched/internal/machine"
+	"sfsched/internal/simtime"
+	"sfsched/internal/xrand"
+)
+
+func TestInfNeverEnds(t *testing.T) {
+	b := Inf()
+	r := xrand.New(1)
+	s := b.Next(0, r)
+	if s.Burst != simtime.Infinity {
+		t.Fatalf("burst %v", s.Burst)
+	}
+}
+
+func TestFinite(t *testing.T) {
+	b := Finite(300 * simtime.Millisecond)
+	s := b.Next(0, xrand.New(1))
+	if s.Burst != 300*simtime.Millisecond || s.Then != machine.ThenExit {
+		t.Fatalf("step %+v", s)
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	b := Periodic(10*simtime.Millisecond, 90*simtime.Millisecond)
+	s := b.Next(0, xrand.New(1))
+	if s.Burst != 10*simtime.Millisecond || s.Then != machine.ThenBlock || s.Sleep != 90*simtime.Millisecond {
+		t.Fatalf("step %+v", s)
+	}
+}
+
+func TestInteractiveDistribution(t *testing.T) {
+	b := Interactive(5*simtime.Millisecond, 100*simtime.Millisecond)
+	r := xrand.New(2)
+	var burstSum, thinkSum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s := b.Next(0, r)
+		if s.Burst < 100*simtime.Microsecond {
+			t.Fatalf("burst below floor: %v", s.Burst)
+		}
+		if s.Then != machine.ThenBlock {
+			t.Fatal("interactive must block")
+		}
+		burstSum += s.Burst.Seconds()
+		thinkSum += s.Sleep.Seconds()
+	}
+	if mean := burstSum / n * 1000; math.Abs(mean-5) > 0.3 {
+		t.Errorf("mean burst %.2fms, want ~5ms", mean)
+	}
+	if mean := thinkSum / n * 1000; math.Abs(mean-100) > 5 {
+		t.Errorf("mean think %.2fms, want ~100ms", mean)
+	}
+}
+
+func TestCompileFinishes(t *testing.T) {
+	total := 2 * simtime.Second
+	b := Compile(total, 30*simtime.Millisecond, 3*simtime.Millisecond)
+	r := xrand.New(3)
+	var consumed simtime.Duration
+	for i := 0; ; i++ {
+		s := b.Next(0, r)
+		consumed += s.Burst
+		if s.Then == machine.ThenExit {
+			break
+		}
+		if i > 10000 {
+			t.Fatal("compile job never exits")
+		}
+	}
+	if consumed != total {
+		t.Fatalf("consumed %v, want %v", consumed, total)
+	}
+}
+
+func TestCompileForeverKeepsGoing(t *testing.T) {
+	b := CompileForever(30*simtime.Millisecond, 3*simtime.Millisecond)
+	r := xrand.New(4)
+	for i := 0; i < 1000; i++ {
+		s := b.Next(0, r)
+		if s.Then != machine.ThenBlock {
+			t.Fatal("CompileForever exited")
+		}
+		if s.Burst < simtime.Millisecond {
+			t.Fatalf("burst below floor: %v", s.Burst)
+		}
+	}
+}
+
+func TestLoopConversions(t *testing.T) {
+	if got := Loops(simtime.Second, simtime.Microsecond); got != 1e6 {
+		t.Fatalf("Loops = %g", got)
+	}
+	if got := LoopRate(simtime.Second, simtime.Microsecond, 2*simtime.Second); got != 5e5 {
+		t.Fatalf("LoopRate = %g", got)
+	}
+	if Loops(simtime.Second, 0) != 0 || LoopRate(simtime.Second, 0, simtime.Second) != 0 {
+		t.Fatal("zero perLoop must yield 0")
+	}
+	if LoopRate(simtime.Second, simtime.Microsecond, 0) != 0 {
+		t.Fatal("zero elapsed must yield 0")
+	}
+}
+
+func TestResponses(t *testing.T) {
+	var r Responses
+	if r.Mean() != 0 || r.Max() != 0 || r.Percentile(95) != 0 {
+		t.Fatal("empty recorder must return zeros")
+	}
+	for _, ms := range []int{1, 2, 3, 4, 100} {
+		r.Add(simtime.Duration(ms) * simtime.Millisecond)
+	}
+	if r.Count() != 5 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if got := r.Mean(); got != 22*simtime.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := r.Max(); got != 100*simtime.Millisecond {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := r.Percentile(50); got != 2*simtime.Millisecond && got != 3*simtime.Millisecond {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := r.Percentile(100); got != 100*simtime.Millisecond {
+		t.Fatalf("P100 = %v", got)
+	}
+}

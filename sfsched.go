@@ -1,0 +1,174 @@
+// Package sfsched is a library reproduction of "Surplus Fair Scheduling: A
+// Proportional-Share CPU Scheduling Algorithm for Symmetric Multiprocessors"
+// (Chandra, Adler, Goyal, Shenoy; OSDI 2000).
+//
+// It provides:
+//
+//   - The SFS scheduler itself (NewSFS), including the paper's weight
+//     readjustment algorithm, the three-queue kernel implementation, the
+//     bounded pick heuristic and fixed-point tag arithmetic.
+//   - The baselines the paper evaluates against: multiprocessor SFQ with and
+//     without readjustment (NewSFQ), and a Linux 2.2-style time-sharing
+//     scheduler (NewTimeshare); plus stride and BVT from the paper's related
+//     work (NewStride, NewBVT).
+//   - A deterministic simulated SMP (NewMachine) standing in for the
+//     paper's patched Linux kernel, with workload models for the evaluated
+//     applications (Inf, Finite, Periodic, Interactive, Compile).
+//   - The GMS fluid reference (NewGMS), the idealized allocation every
+//     practical scheduler is measured against.
+//
+// This package is a thin facade over the internal packages; see
+// examples/quickstart for a complete program and DESIGN.md for the system
+// inventory.
+package sfsched
+
+import (
+	"sfsched/internal/bvt"
+	"sfsched/internal/core"
+	"sfsched/internal/gms"
+	"sfsched/internal/hier"
+	"sfsched/internal/lottery"
+	"sfsched/internal/machine"
+	"sfsched/internal/sched"
+	"sfsched/internal/sfq"
+	"sfsched/internal/simtime"
+	"sfsched/internal/stride"
+	"sfsched/internal/timeshare"
+	"sfsched/internal/workload"
+)
+
+// Time and duration types of the simulated clock (microsecond resolution).
+type (
+	// Time is an absolute simulated instant.
+	Time = simtime.Time
+	// Duration is a simulated time span.
+	Duration = simtime.Duration
+)
+
+// Common durations.
+const (
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+	// Infinity marks a CPU burst that never ends.
+	Infinity = simtime.Infinity
+)
+
+// Scheduling types.
+type (
+	// Thread is the scheduler-visible thread control block.
+	Thread = sched.Thread
+	// Scheduler is the policy interface the simulated machine drives.
+	Scheduler = sched.Scheduler
+	// SFS is the surplus fair scheduler (the paper's contribution).
+	SFS = core.SFS
+	// SFSOption configures NewSFS.
+	SFSOption = core.Option
+)
+
+// Machine types.
+type (
+	// Machine is the simulated symmetric multiprocessor.
+	Machine = machine.Machine
+	// MachineConfig assembles a Machine.
+	MachineConfig = machine.Config
+	// Task is a simulated process on a Machine.
+	Task = machine.Task
+	// SpawnConfig describes a Task.
+	SpawnConfig = machine.SpawnConfig
+	// Behavior generates a task's CPU bursts.
+	Behavior = machine.Behavior
+	// BehaviorFunc adapts a function to Behavior.
+	BehaviorFunc = machine.BehaviorFunc
+	// Step is one CPU burst and its boundary action.
+	Step = machine.Step
+	// Hooks observe machine lifecycle transitions (GMS attachment,
+	// tracing).
+	Hooks = machine.Hooks
+	// GMS integrates the idealized fluid allocation.
+	GMS = gms.Fluid
+)
+
+// Burst boundary actions.
+const (
+	// ThenBlock sleeps after the burst.
+	ThenBlock = machine.ThenBlock
+	// ThenExit terminates the task after the burst.
+	ThenExit = machine.ThenExit
+)
+
+// SFS options (see internal/core for semantics).
+var (
+	// WithQuantum sets the maximum quantum.
+	WithQuantum = core.WithQuantum
+	// WithHeuristic bounds each scheduling decision to k candidates per
+	// run queue (§3.2).
+	WithHeuristic = core.WithHeuristic
+	// WithFixedPoint uses scaled-integer tags with 10^digits precision.
+	WithFixedPoint = core.WithFixedPoint
+	// WithAffinity enables the processor-affinity extension.
+	WithAffinity = core.WithAffinity
+	// WithoutReadjustment disables weight readjustment (ablation).
+	WithoutReadjustment = core.WithoutReadjustment
+)
+
+// NewSFS returns a surplus fair scheduler for p processors.
+func NewSFS(p int, opts ...SFSOption) *SFS { return core.New(p, opts...) }
+
+// NewSFQ returns a multiprocessor start-time fair queueing scheduler; with
+// readjust it is coupled with the weight readjustment algorithm.
+func NewSFQ(p int, readjust bool) Scheduler {
+	if readjust {
+		return sfq.New(p, sfq.WithReadjustment())
+	}
+	return sfq.New(p)
+}
+
+// NewTimeshare returns a Linux 2.2-style time-sharing scheduler.
+func NewTimeshare(p int) Scheduler { return timeshare.New(p) }
+
+// NewStride returns a stride scheduler.
+func NewStride(p int) Scheduler { return stride.New(p) }
+
+// NewBVT returns a borrowed-virtual-time scheduler.
+func NewBVT(p int) Scheduler { return bvt.New(p) }
+
+// NewLottery returns a lottery scheduler seeded deterministically.
+func NewLottery(p int, seed uint64) Scheduler {
+	return lottery.New(p, lottery.WithSeed(seed))
+}
+
+// Hierarchical scheduling (the extension answering the paper's §5 open
+// problem): threads grouped into weighted classes, SFS at both levels.
+type (
+	// Hier is the two-level hierarchical SFS scheduler.
+	Hier = hier.Hier
+	// Class is a scheduling class inside a Hier.
+	Class = hier.Class
+)
+
+// NewHierarchical returns a two-level hierarchical SFS scheduler with the
+// given maximum quantum (0 = the paper's 200 ms default).
+func NewHierarchical(p int, quantum Duration) *Hier { return hier.New(p, quantum) }
+
+// NewMachine builds a simulated SMP.
+func NewMachine(cfg MachineConfig) *Machine { return machine.New(cfg) }
+
+// NewGMS returns the idealized GMS fluid integrator for p processors.
+func NewGMS(p int) *GMS { return gms.New(p) }
+
+// Workload constructors (the paper's evaluated applications).
+var (
+	// Inf is a compute loop that never blocks.
+	Inf = workload.Inf
+	// Finite is a compute task of fixed demand that exits.
+	Finite = workload.Finite
+	// Periodic alternates fixed bursts and sleeps.
+	Periodic = workload.Periodic
+	// Interactive models the Interact application.
+	Interactive = workload.Interactive
+	// Compile models a gcc job.
+	Compile = workload.Compile
+	// CompileForever models a repeated build.
+	CompileForever = workload.CompileForever
+)
