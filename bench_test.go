@@ -163,7 +163,7 @@ func BenchmarkAblationQueueBacking(b *testing.B) {
 		return a.ID < c.ID
 	}
 	b.Run("list", func(b *testing.B) {
-		l := runqueue.NewList(less)
+		l := runqueue.NewList(runqueue.SlotPrimary, less)
 		r := xrand.New(1)
 		for i := 0; i < n; i++ {
 			l.Insert(mkThread(i+1, 1))
@@ -176,7 +176,7 @@ func BenchmarkAblationQueueBacking(b *testing.B) {
 		}
 	})
 	b.Run("heap", func(b *testing.B) {
-		h := runqueue.NewHeap(less)
+		h := runqueue.NewHeap(runqueue.SlotPrimary, less)
 		r := xrand.New(1)
 		for i := 0; i < n; i++ {
 			h.Push(mkThread(i+1, 1))

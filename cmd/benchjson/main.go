@@ -1,0 +1,28 @@
+// Command benchjson converts `go test -bench` output on stdin into JSON on
+// stdout, so CI runs can append machine-readable points to the performance
+// trajectory started by BENCH_1.json.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Overhead -benchmem . | go run ./cmd/benchjson
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	entries, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

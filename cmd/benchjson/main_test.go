@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const sample = `goos: linux
+goarch: amd64
+pkg: sfsched
+BenchmarkOverheadPickCharge/exact/float/n=10000/p=4-8   1000000   1432 ns/op   0 B/op   0 allocs/op
+BenchmarkFig3HeuristicAccuracy   118527   3451.5 ns/op
+PASS
+`
+	entries, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "OverheadPickCharge/exact/float/n=10000/p=4" {
+		t.Fatalf("name %q (CPU suffix must be stripped)", e.Name)
+	}
+	if e.NsPerOp != 1432 || e.Iterations != 1000000 {
+		t.Fatalf("ns/op %g iters %d", e.NsPerOp, e.Iterations)
+	}
+	if e.AllocsPerOp == nil || *e.AllocsPerOp != 0 || *e.BytesPerOp != 0 {
+		t.Fatal("benchmem columns not parsed")
+	}
+	if entries[1].AllocsPerOp != nil {
+		t.Fatal("entry without benchmem columns must have nil allocs")
+	}
+	if entries[1].NsPerOp != 3451.5 {
+		t.Fatalf("fractional ns/op lost: %g", entries[1].NsPerOp)
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"regexp"
+	"strconv"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFoo/bar-8   12345   987.6 ns/op   16 B/op   2 allocs/op
+var benchLine = regexp.MustCompile(
+	`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// Parse extracts benchmark entries from `go test -bench` output.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		e := Entry{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, _ := strconv.ParseInt(m[4], 10, 64)
+			a, _ := strconv.ParseInt(m[5], 10, 64)
+			e.BytesPerOp, e.AllocsPerOp = &b, &a
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

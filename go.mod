@@ -1,0 +1,3 @@
+module sfsched
+
+go 1.24

@@ -65,7 +65,7 @@ func New(p int, opts ...Option) *BVT {
 	// Start holds A_i; effective time is A_i − warp_i. Ties mirror SFQ's
 	// order (descending weight, then ID) so the zero-warp reduction to
 	// SFQ holds decision-for-decision.
-	b.byEffective = runqueue.NewList(func(x, y *sched.Thread) bool {
+	b.byEffective = runqueue.NewList(runqueue.SlotPrimary, func(x, y *sched.Thread) bool {
 		ex, ey := x.Start-x.Warp, y.Start-y.Warp
 		if ex != ey {
 			return ex < ey

@@ -1,0 +1,449 @@
+package core
+
+// Golden-trace differential tests: the lazily-evaluated exact scheduler must
+// produce decisions bit-identical to the paper's eager algorithm — recompute
+// every surplus against the current virtual time at every scheduling
+// instance and pick the minimum. The oracle below implements that eager
+// algorithm from scratch (no shared queue machinery, no stored surpluses),
+// using the same floating-point and fixed-point expressions, and the tests
+// drive oracle and scheduler through identical scripted workloads comparing
+// the full pick sequence.
+
+import (
+	"fmt"
+	"testing"
+
+	"sfsched/internal/fixedpoint"
+	"sfsched/internal/phi"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+	"sfsched/internal/xrand"
+)
+
+// goldenSched is the operation surface the differential driver needs; both
+// *SFS and *oracle implement it.
+type goldenSched interface {
+	Add(*sched.Thread, simtime.Time) error
+	Remove(*sched.Thread, simtime.Time) error
+	Charge(*sched.Thread, simtime.Duration, simtime.Time)
+	SetWeight(*sched.Thread, float64, simtime.Time) error
+	Pick(int, simtime.Time) *sched.Thread
+}
+
+// oracle is the eager reference implementation of exact-mode SFS: a flat
+// slice of runnable threads, surpluses recomputed from scratch on demand.
+// It reuses phi.Tracker so that readjusted φ values are arithmetic-identical
+// to the scheduler's, and mirrors the seed's tag update expressions exactly.
+type oracle struct {
+	p            int
+	weights      *phi.Tracker
+	threads      []*sched.Thread
+	v            float64
+	lastFinish   float64
+	fixed        bool
+	scale        fixedpoint.Scale
+	fxV          fixedpoint.Value
+	fxLastFinish fixedpoint.Value
+	margin       float64 // affinity margin; <0 disables
+}
+
+func newOracle(p int, fixedDigits int, margin float64) *oracle {
+	o := &oracle{p: p, weights: phi.NewTracker(p, true), margin: margin}
+	if fixedDigits > 0 {
+		o.fixed = true
+		o.scale = fixedpoint.MustScale(fixedDigits)
+	}
+	return o
+}
+
+func (o *oracle) recomputeV() {
+	if len(o.threads) == 0 {
+		o.v = o.lastFinish
+		o.fxV = o.fxLastFinish
+		return
+	}
+	best := o.threads[0]
+	for _, t := range o.threads[1:] {
+		if t.Start < best.Start || (t.Start == best.Start && t.ID < best.ID) {
+			best = t
+		}
+	}
+	o.v = best.Start
+	o.fxV = best.FxStart
+}
+
+func (o *oracle) Add(t *sched.Thread, now simtime.Time) error {
+	if o.fixed {
+		if t.FxFinish > o.fxV {
+			t.FxStart = t.FxFinish
+		} else {
+			t.FxStart = o.fxV
+		}
+		t.Start = o.scale.Float(t.FxStart)
+	} else {
+		if t.Finish > o.v {
+			t.Start = t.Finish
+		} else {
+			t.Start = o.v
+		}
+	}
+	o.weights.Add(t)
+	o.threads = append(o.threads, t)
+	o.recomputeV()
+	return nil
+}
+
+func (o *oracle) Remove(t *sched.Thread, now simtime.Time) error {
+	for i, x := range o.threads {
+		if x == t {
+			o.threads = append(o.threads[:i], o.threads[i+1:]...)
+			o.weights.Remove(t)
+			o.recomputeV()
+			return nil
+		}
+	}
+	return fmt.Errorf("oracle: %v not managed", t)
+}
+
+func (o *oracle) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+	t.Service += ran
+	if o.fixed {
+		phiFx := o.scale.FromFloat(t.Phi)
+		t.FxFinish = t.FxStart + o.scale.DivValue(o.scale.FromInt(int64(ran)), phiFx)
+		t.FxStart = t.FxFinish
+		o.fxLastFinish = t.FxFinish
+		t.Start = o.scale.Float(t.FxStart)
+		t.Finish = o.scale.Float(t.FxFinish)
+		o.lastFinish = t.Finish
+	} else {
+		t.Finish = t.Start + ran.Seconds()/t.Phi
+		t.Start = t.Finish
+		o.lastFinish = t.Finish
+	}
+	o.recomputeV()
+}
+
+func (o *oracle) SetWeight(t *sched.Thread, w float64, now simtime.Time) error {
+	for _, x := range o.threads {
+		if x == t {
+			o.weights.UpdateWeight(t, w)
+			return nil
+		}
+	}
+	t.Weight = w
+	t.Phi = w
+	return nil
+}
+
+func (o *oracle) fresh(t *sched.Thread) float64 {
+	if o.fixed {
+		return o.scale.Float(o.scale.MulValue(o.scale.FromFloat(t.Phi), t.FxStart-o.fxV))
+	}
+	return t.Phi * (t.Start - o.v)
+}
+
+// Pick scans every runnable thread and returns the non-running one that is
+// minimal under (surplus asc, weight desc, ID asc) — the surplus queue's
+// order — with the affinity extension's window applied when enabled.
+func (o *oracle) Pick(cpu int, now simtime.Time) *sched.Thread {
+	better := func(fresh float64, t *sched.Thread, bestS float64, best *sched.Thread) bool {
+		if best == nil || fresh != bestS {
+			return best == nil || fresh < bestS
+		}
+		if t.Weight != best.Weight {
+			return t.Weight > best.Weight
+		}
+		return t.ID < best.ID
+	}
+	var best *sched.Thread
+	var bestS float64
+	for _, t := range o.threads {
+		if t.Running() {
+			continue
+		}
+		if f := o.fresh(t); better(f, t, bestS, best) {
+			best, bestS = t, f
+		}
+	}
+	if o.margin >= 0 && best != nil && best.LastCPU != cpu {
+		var bestAff *sched.Thread
+		var bestAffS float64
+		for _, t := range o.threads {
+			if t.Running() || t.LastCPU != cpu {
+				continue
+			}
+			if f := o.fresh(t); f-bestS <= o.margin && better(f, t, bestAffS, bestAff) {
+				bestAff, bestAffS = t, f
+			}
+		}
+		if bestAff != nil {
+			return bestAff
+		}
+	}
+	return best
+}
+
+// goldenWorld drives a scheduler and an oracle through one scripted
+// workload, comparing every pick. Threads exist in mirrored pairs (same ID
+// and weight) so that tags never leak between the two implementations.
+type goldenWorld struct {
+	t      *testing.T
+	name   string
+	sut    goldenSched
+	ora    goldenSched
+	sutT   map[int]*sched.Thread
+	oraT   map[int]*sched.Thread
+	ids    []int // runnable, non-running thread IDs
+	run    map[int]int
+	nextID int
+	now    simtime.Time
+	step   int
+}
+
+func newGoldenWorld(t *testing.T, name string, sut, ora goldenSched) *goldenWorld {
+	return &goldenWorld{
+		t: t, name: name, sut: sut, ora: ora,
+		sutT: map[int]*sched.Thread{}, oraT: map[int]*sched.Thread{},
+		run: map[int]int{},
+	}
+}
+
+func (w *goldenWorld) mk(weight float64) int {
+	w.nextID++
+	id := w.nextID
+	w.sutT[id] = mkThread(id, weight)
+	w.oraT[id] = mkThread(id, weight)
+	return id
+}
+
+func (w *goldenWorld) add(id int) {
+	if err := w.sut.Add(w.sutT[id], w.now); err != nil {
+		w.t.Fatalf("%s step %d: sut add: %v", w.name, w.step, err)
+	}
+	if err := w.ora.Add(w.oraT[id], w.now); err != nil {
+		w.t.Fatalf("%s step %d: oracle add: %v", w.name, w.step, err)
+	}
+	w.ids = append(w.ids, id)
+}
+
+func (w *goldenWorld) remove(id int) {
+	w.sutT[id].State = sched.Blocked
+	w.oraT[id].State = sched.Blocked
+	if err := w.sut.Remove(w.sutT[id], w.now); err != nil {
+		w.t.Fatalf("%s step %d: sut remove: %v", w.name, w.step, err)
+	}
+	if err := w.ora.Remove(w.oraT[id], w.now); err != nil {
+		w.t.Fatalf("%s step %d: oracle remove: %v", w.name, w.step, err)
+	}
+	for i, x := range w.ids {
+		if x == id {
+			w.ids = append(w.ids[:i], w.ids[i+1:]...)
+			break
+		}
+	}
+	w.sutT[id].State = sched.Runnable
+	w.oraT[id].State = sched.Runnable
+}
+
+func (w *goldenWorld) setWeight(id int, wt float64) {
+	if err := w.sut.SetWeight(w.sutT[id], wt, w.now); err != nil {
+		w.t.Fatalf("%s step %d: sut setweight: %v", w.name, w.step, err)
+	}
+	if err := w.ora.SetWeight(w.oraT[id], wt, w.now); err != nil {
+		w.t.Fatalf("%s step %d: oracle setweight: %v", w.name, w.step, err)
+	}
+}
+
+// pick dispatches on cpu and cross-checks the decision. It returns the
+// picked ID (0 when both sides are idle).
+func (w *goldenWorld) pick(cpu int) int {
+	st := w.sut.Pick(cpu, w.now)
+	ot := w.ora.Pick(cpu, w.now)
+	switch {
+	case st == nil && ot == nil:
+		return 0
+	case st == nil || ot == nil:
+		w.t.Fatalf("%s step %d cpu %d: sut=%v oracle=%v", w.name, w.step, cpu, st, ot)
+	case st.ID != ot.ID:
+		w.t.Fatalf("%s step %d cpu %d: traces diverge: sut picked %d, oracle picked %d",
+			w.name, w.step, cpu, st.ID, ot.ID)
+	}
+	st.CPU = cpu
+	ot.CPU = cpu
+	w.run[st.ID] = cpu
+	for i, x := range w.ids {
+		if x == st.ID {
+			w.ids = append(w.ids[:i], w.ids[i+1:]...)
+			break
+		}
+	}
+	return st.ID
+}
+
+// charge ends id's quantum of length q on both sides.
+func (w *goldenWorld) charge(id int, q simtime.Duration) {
+	cpu := w.run[id]
+	delete(w.run, id)
+	st, ot := w.sutT[id], w.oraT[id]
+	w.now = w.now.Add(q)
+	st.CPU, ot.CPU = sched.NoCPU, sched.NoCPU
+	st.LastCPU, ot.LastCPU = cpu, cpu
+	w.sut.Charge(st, q, w.now)
+	w.ora.Charge(ot, q, w.now)
+	w.ids = append(w.ids, id)
+}
+
+// goldenCase is one recorded workload of the differential suite.
+type goldenCase struct {
+	name   string
+	cpus   int
+	margin float64 // affinity margin, <0 off
+	script func(w *goldenWorld, r *xrand.Rand)
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"uniprocessor", 1, -1, func(w *goldenWorld, r *xrand.Rand) {
+			// The §2.3 reduction workload: mixed weights, variable quanta.
+			for i := 0; i < 6; i++ {
+				w.add(w.mk(float64(1 + r.Intn(20))))
+			}
+			for w.step = 0; w.step < 4000; w.step++ {
+				id := w.pick(0)
+				w.charge(id, simtime.Duration(1+r.Intn(50))*simtime.Millisecond)
+			}
+		}},
+		{"smp4-mixed-weights", 4, -1, func(w *goldenWorld, r *xrand.Rand) {
+			// 40 threads, several infeasible weights, staggered quanta so
+			// CPUs drift out of phase.
+			for i := 0; i < 40; i++ {
+				wt := float64(1 + r.Intn(15))
+				if i%13 == 0 {
+					wt = 200 // infeasible: exercises readjustment
+				}
+				w.add(w.mk(wt))
+			}
+			var running [4]int
+			for cpu := 0; cpu < 4; cpu++ {
+				running[cpu] = w.pick(cpu)
+			}
+			for w.step = 0; w.step < 6000; w.step++ {
+				cpu := w.step % 4
+				w.charge(running[cpu], simtime.Duration(1+r.Intn(20))*simtime.Millisecond)
+				running[cpu] = w.pick(cpu)
+			}
+		}},
+		{"churn-heavy", 4, -1, func(w *goldenWorld, r *xrand.Rand) {
+			for i := 0; i < 30; i++ {
+				w.add(w.mk(float64(1 + r.Intn(30))))
+			}
+			for w.step = 0; w.step < 5000; w.step++ {
+				switch op := r.Intn(10); {
+				case op < 2: // arrival
+					w.add(w.mk(float64(1 + r.Intn(30))))
+				case op < 4 && len(w.ids) > 1: // block + later wake
+					w.remove(w.ids[r.Intn(len(w.ids))])
+				case op < 5 && len(w.ids) > 0: // setweight
+					w.setWeight(w.ids[r.Intn(len(w.ids))], float64(1+r.Intn(30)))
+				default: // dispatch round
+					if id := w.pick(r.Intn(4)); id != 0 {
+						w.charge(id, simtime.Duration(1+r.Intn(20))*simtime.Millisecond)
+					}
+				}
+			}
+		}},
+		{"smp4-deep-queue", 4, -1, func(w *goldenWorld, r *xrand.Rand) {
+			// 1200 runnable threads: surplus gaps shrink to the regime
+			// where the drift-bounded scan cutoff must stay conservative.
+			for i := 0; i < 1200; i++ {
+				w.add(w.mk(float64(1 + r.Intn(5))))
+			}
+			var running [4]int
+			for cpu := 0; cpu < 4; cpu++ {
+				running[cpu] = w.pick(cpu)
+			}
+			for w.step = 0; w.step < 3000; w.step++ {
+				cpu := w.step % 4
+				w.charge(running[cpu], simtime.Duration(1+r.Intn(10))*simtime.Millisecond)
+				running[cpu] = w.pick(cpu)
+			}
+		}},
+		{"smp4-affinity", 4, 0.05, func(w *goldenWorld, r *xrand.Rand) {
+			for i := 0; i < 24; i++ {
+				w.add(w.mk(float64(1 + r.Intn(8))))
+			}
+			var running [4]int
+			for cpu := 0; cpu < 4; cpu++ {
+				running[cpu] = w.pick(cpu)
+			}
+			for w.step = 0; w.step < 4000; w.step++ {
+				cpu := (w.step * 7) % 4
+				w.charge(running[cpu], simtime.Duration(1+r.Intn(25))*simtime.Millisecond)
+				running[cpu] = w.pick(cpu)
+			}
+		}},
+	}
+}
+
+// TestGoldenTraceFloat verifies pick-sequence equality in float64 mode.
+func TestGoldenTraceFloat(t *testing.T) {
+	for _, c := range goldenCases() {
+		t.Run(c.name, func(t *testing.T) {
+			opts := []Option{WithQuantum(20 * simtime.Millisecond)}
+			if c.margin >= 0 {
+				opts = append(opts, WithAffinity(c.margin))
+			}
+			w := newGoldenWorld(t, c.name, New(c.cpus, opts...), newOracle(c.cpus, 0, c.margin))
+			c.script(w, xrand.New(uint64(17+len(c.name))))
+		})
+	}
+}
+
+// TestGoldenTraceFixed verifies pick-sequence equality in fixed-point mode
+// (4 digits, the paper's kernel configuration).
+func TestGoldenTraceFixed(t *testing.T) {
+	for _, c := range goldenCases() {
+		t.Run(c.name, func(t *testing.T) {
+			opts := []Option{WithQuantum(20 * simtime.Millisecond), WithFixedPoint(4)}
+			if c.margin >= 0 {
+				opts = append(opts, WithAffinity(c.margin))
+			}
+			s := New(c.cpus, opts...)
+			w := newGoldenWorld(t, c.name, s, newOracle(c.cpus, 4, c.margin))
+			c.script(w, xrand.New(uint64(17+len(c.name))))
+			if s.Stats().Rebases != 0 {
+				t.Fatalf("unexpected rebase during golden run (oracle does not model rebasing)")
+			}
+		})
+	}
+}
+
+// TestGoldenTraceInvariants re-runs the churn workload with invariant checks
+// after every step, covering the vRef bookkeeping under arrivals,
+// departures, weight changes and long pick scans.
+func TestGoldenTraceInvariants(t *testing.T) {
+	s := New(4, WithQuantum(20*simtime.Millisecond))
+	o := newOracle(4, 0, -1)
+	w := newGoldenWorld(t, "churn-invariants", s, o)
+	r := xrand.New(99)
+	for i := 0; i < 20; i++ {
+		w.add(w.mk(float64(1 + r.Intn(30))))
+	}
+	for w.step = 0; w.step < 2000; w.step++ {
+		switch op := r.Intn(10); {
+		case op < 2:
+			w.add(w.mk(float64(1 + r.Intn(30))))
+		case op < 4 && len(w.ids) > 1:
+			w.remove(w.ids[r.Intn(len(w.ids))])
+		case op < 5 && len(w.ids) > 0:
+			w.setWeight(w.ids[r.Intn(len(w.ids))], float64(1+r.Intn(30)))
+		default:
+			if id := w.pick(r.Intn(4)); id != 0 {
+				w.charge(id, simtime.Duration(1+r.Intn(20))*simtime.Millisecond)
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", w.step, err)
+		}
+	}
+}

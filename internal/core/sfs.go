@@ -23,6 +23,28 @@
 // SFS reduces to SFQ; TestSFSReducesToSFQOnUniprocessor checks trace
 // equality.
 //
+// # Hot-path design: lazy surpluses (DESIGN.md §3)
+//
+// A charge usually advances the virtual time (the charged thread held the
+// minimum start tag), and every surplus depends on v, so the obvious exact
+// implementation — recompute all n surpluses and re-sort after every charge —
+// costs O(n) per scheduling decision. This implementation instead keeps
+// stored surpluses relative to a reference virtual time vRef (the epoch of
+// the last full refresh). Between refreshes only the charged thread's stored
+// surplus is updated; picks recover the exact minimum fresh surplus from the
+// stale ordering using the bound
+//
+//	α_i(v) ≥ α_i(vRef) − φ_max·(v − vRef)
+//
+// (surpluses shrink by at most φ_max per unit of virtual time), scanning the
+// surplus queue in stored order and stopping once no later thread can beat
+// the best fresh surplus found. When a scan grows past a √n-scaled limit the
+// queue is refreshed and vRef snaps back to v, keeping the amortized cost of
+// a charge+pick cycle O(√n) with small constants while producing decisions
+// bit-identical to the eager implementation (TestGoldenTrace*). Heuristic
+// mode (§3.2) keeps the paper's own behaviour: stored surpluses refresh
+// every updatePeriod decisions and picks examine k candidates per queue.
+//
 // # Extensions
 //
 // WithAffinity enables the processor-affinity extension sketched in the
@@ -36,6 +58,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"sfsched/internal/fixedpoint"
 	"sfsched/internal/phi"
@@ -67,11 +90,20 @@ type SFS struct {
 	quantum simtime.Duration
 
 	weights   *phi.Tracker                  // queue 1: descending weight + φ values
-	byStart   *runqueue.List[*sched.Thread] // queue 2: ascending start tag
-	bySurplus *runqueue.List[*sched.Thread] // queue 3: ascending stored surplus
+	byStart   *runqueue.Heap[*sched.Thread] // queue 2: min-heap on (start tag, ID)
+	bySurplus *runqueue.Heap[*sched.Thread] // queue 3: min-heap on stored surplus
+
+	kScratch []*sched.Thread // heuristic first-k candidate scratch
 
 	v          float64 // virtual time
 	lastFinish float64 // finish tag of the thread that ran last
+
+	// Exact mode keeps stored surpluses relative to vRef, the virtual time
+	// of the last full refresh; picks compensate for the drift v − vRef.
+	vRef        float64
+	fxVRef      fixedpoint.Value
+	scanLimit   int  // pick scan length that triggers a refresh
+	needRefresh bool // set by an over-long pick scan, consumed by Charge
 
 	useReadjust bool
 
@@ -87,6 +119,7 @@ type SFS struct {
 	fxV          fixedpoint.Value
 	fxLastFinish fixedpoint.Value
 	rebaseThresh fixedpoint.Value
+	fxSlack      float64 // truncation allowance for the pick-scan bound
 
 	affinityMargin float64 // <0 disables the affinity extension
 
@@ -123,6 +156,10 @@ func WithFixedPoint(digits int) Option {
 	return func(s *SFS) {
 		s.fixed = true
 		s.scale = fixedpoint.MustScale(digits)
+		// MulValue truncates; a fresh surplus recomputed against the
+		// current v can undershoot the drift-compensated stored value by a
+		// few quantization units. The pick-scan cutoff allows for them.
+		s.fxSlack = 3.0 / float64(s.scale.Factor())
 	}
 }
 
@@ -158,10 +195,11 @@ func New(p int, opts ...Option) *SFS {
 		quantum:        DefaultQuantum,
 		useReadjust:    true,
 		updatePeriod:   50,
+		scanLimit:      32,
 		rebaseThresh:   fixedpoint.WrapThreshold,
 		affinityMargin: -1,
 	}
-	s.byStart = runqueue.NewList(func(a, b *sched.Thread) bool {
+	s.byStart = runqueue.NewHeap(runqueue.SlotPrimary, func(a, b *sched.Thread) bool {
 		if a.Start != b.Start {
 			return a.Start < b.Start
 		}
@@ -169,20 +207,26 @@ func New(p int, opts ...Option) *SFS {
 	})
 	// Equal surpluses tie-break by descending weight then ID, mirroring
 	// SFQ's tie order so that the uniprocessor reduction (SFS ≡ SFQ,
-	// §2.3) holds decision-for-decision, not just in aggregate.
-	s.bySurplus = runqueue.NewList(func(a, b *sched.Thread) bool {
-		if a.Surplus != b.Surplus {
-			return a.Surplus < b.Surplus
-		}
-		if a.Weight != b.Weight {
-			return a.Weight > b.Weight
-		}
-		return a.ID < b.ID
-	})
+	// §2.3) holds decision-for-decision, not just in aggregate. The heap
+	// order and pickExact's no-drift prune predicate must be the same
+	// function, so both use surplusHeapLess.
+	s.bySurplus = runqueue.NewHeap(runqueue.SlotSurplus, surplusHeapLess)
 	for _, o := range opts {
 		o(s)
 	}
 	s.weights = phi.NewTracker(p, s.useReadjust)
+	// φ changes arrive thread-by-thread from the readjustment pass; keep
+	// the derived state (FxPhi cache, stored surplus, queue position) of
+	// each affected thread current instead of sweeping the whole set.
+	s.weights.OnPhiChange(func(t *sched.Thread) {
+		if s.fixed {
+			t.FxPhi = s.scale.FromFloat(t.Phi)
+		}
+		if s.k == 0 && s.bySurplus.Contains(t) {
+			s.storeSurplus(t)
+			s.bySurplus.Fix(t)
+		}
+	})
 	return s
 }
 
@@ -221,7 +265,7 @@ func (s *SFS) Quantum() simtime.Duration { return s.quantum }
 // so that intra-class readjustment caps threads at one *physical* CPU out of
 // the class's allocation.
 func (s *SFS) SetCapacity(c float64) {
-	if s.weights.SetCapacity(c) {
+	if s.weights.SetCapacity(c) && s.k > 0 {
 		s.refreshSurpluses()
 	}
 }
@@ -247,13 +291,14 @@ func (s *SFS) Add(t *sched.Thread, now simtime.Time) error {
 		t.Start = math.Max(t.Finish, s.v)
 	}
 	changed := s.weights.Add(t)
-	s.byStart.Insert(t)
+	s.byStart.Push(t)
 	// Adding a thread cannot lower v (its start tag is >= v), so only φ
-	// changes require refreshing other threads' surpluses.
+	// changes require updating other threads' surpluses — and in exact
+	// mode the φ hook has already repositioned each affected thread.
 	s.recomputeV()
 	s.storeSurplus(t)
-	s.bySurplus.Insert(t)
-	if changed {
+	s.bySurplus.Push(t)
+	if changed && s.k > 0 {
 		s.refreshSurpluses()
 	}
 	return nil
@@ -268,7 +313,10 @@ func (s *SFS) Remove(t *sched.Thread, now simtime.Time) error {
 	s.bySurplus.Remove(t)
 	changed := s.weights.Remove(t)
 	vChanged := s.recomputeV()
-	if changed || vChanged {
+	// Stored surpluses are relative to vRef, not v, so a v change alone
+	// invalidates nothing in exact mode; φ changes were handled by the
+	// hook.
+	if (changed || vChanged) && s.k > 0 {
 		s.refreshSurpluses()
 	}
 	return nil
@@ -283,8 +331,7 @@ func (s *SFS) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
 	}
 	t.Service += ran
 	if s.fixed {
-		phiFx := s.scale.FromFloat(t.Phi)
-		t.FxFinish = t.FxStart + s.scale.DivValue(s.scale.FromInt(int64(ran)), phiFx)
+		t.FxFinish = t.FxStart + s.scale.DivValue(s.scale.FromInt(int64(ran)), t.FxPhi)
 		t.FxStart = t.FxFinish
 		s.fxLastFinish = t.FxFinish
 		t.Start = s.scale.Float(t.FxStart)
@@ -302,17 +349,25 @@ func (s *SFS) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
 		s.byStart.Fix(t)
 	}
 	vChanged := s.recomputeV()
-	refresh := vChanged
 	if s.k > 0 {
 		// Heuristic mode: defer the global refresh to the periodic
 		// update instead of paying it on every virtual-time change.
-		refresh = vChanged && s.dueForUpdate()
+		if vChanged && s.dueForUpdate() {
+			s.refreshSurpluses()
+		} else if s.byStart.Contains(t) {
+			s.storeSurplus(t)
+			s.bySurplus.Fix(t)
+		}
+		return
 	}
-	if refresh {
-		s.refreshSurpluses()
-	} else if s.byStart.Contains(t) {
+	// Exact mode: restore t's position against the unchanged vRef epoch;
+	// refresh only when pick scans report the drift has grown expensive.
+	if s.byStart.Contains(t) {
 		s.storeSurplus(t)
 		s.bySurplus.Fix(t)
+	}
+	if s.needRefresh {
+		s.refreshSurpluses()
 	}
 }
 
@@ -346,8 +401,11 @@ func (s *SFS) SetWeight(t *sched.Thread, w float64, now simtime.Time) error {
 		return nil
 	}
 	s.weights.UpdateWeight(t, w)
-	// φ changed for t (and possibly others): refresh everything.
-	s.refreshSurpluses()
+	// φ changed for t (and possibly others): in exact mode the hook has
+	// restored every affected thread; heuristic mode refreshes globally.
+	if s.k > 0 {
+		s.refreshSurpluses()
+	}
 	return nil
 }
 
@@ -369,33 +427,142 @@ func (s *SFS) Pick(cpu int, now simtime.Time) *sched.Thread {
 	return t
 }
 
-// pickExact returns the non-running thread with the least stored surplus;
-// stored surpluses are always fresh in exact mode. The affinity extension
-// may promote a near-tied thread that last ran on this CPU.
+// freshSurplus returns t's surplus against the current virtual time, using
+// the same arithmetic (float or fixed) that a full refresh would.
+func (s *SFS) freshSurplus(t *sched.Thread) float64 {
+	if s.fixed {
+		return s.scale.Float(s.scale.MulValue(t.FxPhi, t.FxStart-s.fxV))
+	}
+	return t.Phi * (t.Start - s.v)
+}
+
+// betterPick reports whether (fresh, t) beats the incumbent under the
+// surplus queue's order: ascending surplus, then descending weight, then ID.
+func betterPick(fresh float64, t *sched.Thread, bestS float64, best *sched.Thread) bool {
+	if best == nil || fresh != bestS {
+		return best == nil || fresh < bestS
+	}
+	if t.Weight != best.Weight {
+		return t.Weight > best.Weight
+	}
+	return t.ID < best.ID
+}
+
+// surplusHeapLess is the surplus queue's order: ascending stored surplus,
+// then descending weight, then ID. internal/hier shares it via
+// SurplusQueueLess.
+func surplusHeapLess(a, b *sched.Thread) bool {
+	if a.Surplus != b.Surplus {
+		return a.Surplus < b.Surplus
+	}
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	return a.ID < b.ID
+}
+
+// SurplusQueueLess exports the surplus queue order for schedulers that reuse
+// the lazy-surplus pick mechanism (internal/hier). Any heap ordered by it
+// may be pruned with it during no-drift picks.
+func SurplusQueueLess(a, b *sched.Thread) bool { return surplusHeapLess(a, b) }
+
+// driftBound returns the pick-scan prune bound φ_max·|v−vRef| and its
+// conservative slack for the current drift, given the largest possible
+// instantaneous weight wmax. Both pickExact and MinSurplusAll prune with
+// exactly these values; keeping them in one place keeps the two scans
+// equally conservative.
+func (s *SFS) driftBound(wmax float64) (bound, slack float64) {
+	drift := s.v - s.vRef
+	if drift < 0 {
+		drift = -drift
+	}
+	bound = wmax * drift
+	slack = 1e-12*(bound+wmax*(math.Abs(s.v)+math.Abs(s.vRef))+1) + s.fxSlack
+	return bound, slack
+}
+
+// pickExact returns the non-running thread with the least fresh surplus via
+// a pruned traversal of the surplus heap. Stored surpluses are relative to
+// vRef; since every φ_i is at most the heaviest requested weight, a fresh
+// surplus can sit below its stored value by at most w_max·(v−vRef), so a
+// subtree whose root's stored surplus exceeds the incumbent by more than
+// that bound (plus the affinity margin, within which the extension may
+// promote a thread that last ran on this CPU) cannot contain the answer.
+// With zero drift stored surpluses ARE fresh, the bound collapses, and the
+// traversal degenerates to a heap-minimum search that skips running threads.
+// A small slack keeps the drifted cutoff conservative against float rounding
+// and fixed-point truncation; visiting a few extra threads is harmless,
+// pruning one too many would change the trace.
 func (s *SFS) pickExact(cpu int) *sched.Thread {
-	var best *sched.Thread
-	s.bySurplus.Each(func(t *sched.Thread) bool {
+	margin := 0.0
+	affinity := s.affinityMargin >= 0
+	if affinity {
+		margin = s.affinityMargin
+	}
+	noDrift := s.noDrift()
+	var bound, slack float64
+	if !noDrift {
+		var wmax float64
+		if h, ok := s.weights.Heaviest(); ok {
+			wmax = h.Weight
+		}
+		bound, slack = s.driftBound(wmax)
+	}
+	var best, bestAff *sched.Thread
+	var bestS, bestAffS float64
+	cut := math.Inf(1)
+	scanned := 0
+	s.bySurplus.EachUnder(func(t *sched.Thread) bool {
+		if best != nil {
+			if noDrift && !affinity {
+				// Fresh == stored: only elements that precede the
+				// incumbent in queue order can matter, ties included.
+				if !surplusHeapLess(t, best) {
+					return false
+				}
+			} else if t.Surplus > cut {
+				return false
+			}
+		}
+		scanned++
 		if t.Running() {
 			return true
 		}
-		if best == nil {
-			best = t
-			// Without affinity (or with it already satisfied) the
-			// first non-running thread is the answer.
-			return !(s.affinityMargin < 0 || best.LastCPU == cpu)
-		}
-		// Affinity scan: keep looking while within the margin of the
-		// truly least-surplus candidate.
-		if t.Surplus-best.Surplus <= s.affinityMargin {
-			if t.LastCPU == cpu {
-				best = t
+		fresh := s.freshSurplus(t)
+		if betterPick(fresh, t, bestS, best) {
+			best, bestS = t, fresh
+			cut = bestS + margin + bound + slack + 1e-12*math.Abs(bestS)
+			if noDrift && !affinity {
+				// t's descendants are all worse; nothing below can win.
 				return false
 			}
-			return true
 		}
-		return false
+		if affinity && t.LastCPU == cpu && betterPick(fresh, t, bestAffS, bestAff) {
+			bestAff, bestAffS = t, fresh
+		}
+		return true
 	})
+	if scanned > s.scanLimit && !noDrift {
+		// A refresh collapses the drift back to zero and re-enables the
+		// cheap no-drift traversal; tie crowds alone don't warrant one.
+		s.needRefresh = true
+	}
+	if affinity && bestAff != nil && best != nil && bestAffS-bestS <= margin {
+		return bestAff
+	}
 	return best
+}
+
+// noDrift reports whether the current virtual time still equals the vRef
+// epoch, in the arithmetic the fresh surpluses would be computed in. With no
+// drift every stored surplus IS the fresh surplus — the state right after a
+// refresh, and throughout ramp-up phases where v sits still while late
+// starters catch up.
+func (s *SFS) noDrift() bool {
+	if s.fixed {
+		return s.fxV == s.fxVRef
+	}
+	return s.v == s.vRef
 }
 
 // pickHeuristic implements the §3.2 heuristic: the thread with minimum
@@ -419,19 +586,15 @@ func (s *SFS) pickHeuristic(cpu int) *sched.Thread {
 			bestSurplus = fresh
 		}
 	}
+	s.kScratch = s.byStart.AppendKSmallest(s.kScratch[:0], s.k)
+	for _, t := range s.kScratch {
+		consider(t)
+	}
+	s.kScratch = s.bySurplus.AppendKSmallest(s.kScratch[:0], s.k)
+	for _, t := range s.kScratch {
+		consider(t)
+	}
 	n := 0
-	s.byStart.Each(func(t *sched.Thread) bool {
-		n++
-		consider(t)
-		return n < s.k
-	})
-	n = 0
-	s.bySurplus.Each(func(t *sched.Thread) bool {
-		n++
-		consider(t)
-		return n < s.k
-	})
-	n = 0
 	s.weights.EachReverse(func(t *sched.Thread) bool {
 		n++
 		consider(t)
@@ -439,10 +602,16 @@ func (s *SFS) pickHeuristic(cpu int) *sched.Thread {
 	})
 	if best == nil {
 		// All candidates were running; stay work-conserving by falling
-		// back to a full scan.
+		// back to the earliest non-running thread in start-tag order.
 		s.byStart.Each(func(t *sched.Thread) bool {
-			consider(t)
-			return best == nil
+			if t.Running() {
+				return true
+			}
+			if best == nil || t.Start < best.Start ||
+				(t.Start == best.Start && t.ID < best.ID) {
+				best = t
+			}
+			return true
 		})
 	}
 	if best != nil {
@@ -457,15 +626,48 @@ func (s *SFS) pickHeuristic(cpu int) *sched.Thread {
 // whose surplus exceeds this minimum is only being offered because the truly
 // deserving thread already occupies a CPU.
 func (s *SFS) MinSurplusAll() float64 {
+	if s.byStart.Len() == 0 {
+		return 0
+	}
+	if s.k > 0 {
+		// Heuristic mode: stored surpluses carry mixed epochs, so the
+		// drift bound does not apply; scan everything.
+		min := math.Inf(1)
+		s.byStart.Each(func(t *sched.Thread) bool {
+			if fresh := t.Phi * (t.Start - s.v); fresh < min {
+				min = fresh
+			}
+			return true
+		})
+		return min
+	}
+	if s.noDrift() {
+		// Stored surpluses are fresh; running threads count, so the heap
+		// minimum is the answer.
+		head, _ := s.bySurplus.Min()
+		return head.Surplus
+	}
+	var wmax float64
+	if h, ok := s.weights.Heaviest(); ok {
+		wmax = h.Weight
+	}
+	bound, slack := s.driftBound(wmax)
 	min := math.Inf(1)
-	s.byStart.Each(func(t *sched.Thread) bool {
-		if fresh := t.Phi * (t.Start - s.v); fresh < min {
+	cut := math.Inf(1)
+	scanned := 0
+	s.bySurplus.EachUnder(func(t *sched.Thread) bool {
+		if t.Surplus > cut {
+			return false
+		}
+		scanned++
+		if fresh := s.freshSurplus(t); fresh < min {
 			min = fresh
+			cut = min + bound + slack + 1e-12*math.Abs(min)
 		}
 		return true
 	})
-	if math.IsInf(min, 1) {
-		return 0
+	if scanned > s.scanLimit {
+		s.needRefresh = true
 	}
 	return min
 }
@@ -497,14 +699,24 @@ func (s *SFS) Less(a, b *sched.Thread) bool {
 }
 
 // Threads returns the runnable threads in ascending start-tag order (tests
-// and metrics).
-func (s *SFS) Threads() []*sched.Thread { return s.byStart.Slice() }
+// and metrics; the sort is paid here, off the scheduling hot path).
+func (s *SFS) Threads() []*sched.Thread {
+	out := s.byStart.Slice()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
 
 // CheckInvariants validates the paper's structural invariants; tests call it
 // after every operation in paranoia mode. The invariants: all three queues
 // agree on membership and remain sorted; v equals the minimum start tag; all
-// fresh surpluses are non-negative; and at least one runnable thread has
-// zero surplus (the thread holding the minimum start tag, §2.3).
+// fresh surpluses are non-negative; at least one runnable thread has zero
+// surplus (the thread holding the minimum start tag, §2.3); and in exact
+// mode every stored surplus equals the recomputation against vRef.
 func (s *SFS) CheckInvariants() error {
 	if err := s.weights.Validate(); err != nil {
 		return err
@@ -522,7 +734,7 @@ func (s *SFS) CheckInvariants() error {
 	if s.byStart.Len() == 0 {
 		return nil
 	}
-	head, _ := s.byStart.Head()
+	head, _ := s.byStart.Min()
 	if head.Start != s.v {
 		return fmt.Errorf("core: v=%g but min start tag is %g", s.v, head.Start)
 	}
@@ -536,6 +748,19 @@ func (s *SFS) CheckInvariants() error {
 		}
 		if fresh == 0 {
 			zero = true
+		}
+		if s.k == 0 {
+			var want float64
+			if s.fixed {
+				want = s.scale.Float(s.scale.MulValue(t.FxPhi, t.FxStart-s.fxVRef))
+			} else {
+				want = t.Phi * (t.Start - s.vRef)
+			}
+			if t.Surplus != want {
+				err = fmt.Errorf("core: stored surplus %g for %v, want %g against vRef=%g",
+					t.Surplus, t, want, s.vRef)
+				return false
+			}
 		}
 		return true
 	})
@@ -553,7 +778,7 @@ func (s *SFS) CheckInvariants() error {
 // (§2.3).
 func (s *SFS) recomputeV() bool {
 	var nv float64
-	if head, ok := s.byStart.Head(); ok {
+	if head, ok := s.byStart.Min(); ok {
 		nv = head.Start
 		if s.fixed {
 			s.fxV = head.FxStart
@@ -571,38 +796,53 @@ func (s *SFS) recomputeV() bool {
 	return true
 }
 
-// storeSurplus recomputes and stores t's surplus against the current v.
+// storeSurplus recomputes and stores t's surplus. Exact mode stores against
+// the vRef epoch shared by the whole surplus queue; heuristic mode stores
+// against the current v (the paper's kernel behaviour — entries go stale
+// individually until the periodic refresh).
 func (s *SFS) storeSurplus(t *sched.Thread) {
+	ref, fxRef := s.v, s.fxV
+	if s.k == 0 {
+		ref, fxRef = s.vRef, s.fxVRef
+	}
 	if s.fixed {
-		phiFx := s.scale.FromFloat(t.Phi)
-		t.FxSurplus = s.scale.MulValue(phiFx, t.FxStart-s.fxV)
+		t.FxSurplus = s.scale.MulValue(t.FxPhi, t.FxStart-fxRef)
 		t.Surplus = s.scale.Float(t.FxSurplus)
 		return
 	}
-	t.Surplus = t.Phi * (t.Start - s.v)
+	t.Surplus = t.Phi * (t.Start - ref)
 }
 
-// refreshSurpluses recomputes every stored surplus and re-sorts the surplus
-// queue with insertion sort (cheap on the mostly-sorted queue, §3.2).
+// refreshSurpluses snaps vRef to the current virtual time, recomputes every
+// stored surplus and re-sorts the surplus queue with insertion sort (cheap
+// on the mostly-sorted queue, §3.2). The refresh scan limit grows with √n so
+// that the amortized refresh cost and the worst-case pick scan balance.
 func (s *SFS) refreshSurpluses() {
+	s.vRef, s.fxVRef = s.v, s.fxV
+	s.needRefresh = false
+	s.scanLimit = 32 + int(math.Sqrt(float64(s.byStart.Len())))
 	s.byStart.Each(func(t *sched.Thread) bool {
 		s.storeSurplus(t)
 		return true
 	})
-	s.bySurplus.ReSort()
+	s.bySurplus.Init()
 	s.stats.SurplusSweeps++
 }
 
 // rebaseTags shifts all tags by the minimum start tag and resets the virtual
 // time, the paper's wraparound handling (§3.2). Differences between tags —
-// the only inputs to scheduling decisions — are preserved.
+// the only inputs to scheduling decisions — are preserved, and since the
+// vRef epoch shifts along with them, stored surpluses remain exact without a
+// refresh.
 func (s *SFS) rebaseTags() {
-	head, ok := s.byStart.Head()
+	head, ok := s.byStart.Min()
 	if !ok {
 		s.fxLastFinish = 0
 		s.fxV = 0
 		s.lastFinish = 0
 		s.v = 0
+		s.fxVRef = 0
+		s.vRef = 0
 		return
 	}
 	base := head.FxStart
@@ -612,8 +852,9 @@ func (s *SFS) rebaseTags() {
 		t.Finish = s.scale.Float(t.FxFinish)
 		return true
 	})
-	fixedpoint.Rebase(base, &s.fxV, &s.fxLastFinish)
+	fixedpoint.Rebase(base, &s.fxV, &s.fxLastFinish, &s.fxVRef)
 	s.v = s.scale.Float(s.fxV)
 	s.lastFinish = s.scale.Float(s.fxLastFinish)
+	s.vRef = s.scale.Float(s.fxVRef)
 	s.stats.Rebases++
 }

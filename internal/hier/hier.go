@@ -31,6 +31,13 @@
 // φ_i ≤ 1, the flat scheduler delivers service proportional to φ — which is
 // by construction the hierarchical GMS allocation. Figure 2's readjustment
 // is the special case of this tree with every thread in its own class.
+//
+// The Charge/Pick hot loop uses the same lazy-surplus scheme as
+// internal/core (stored surpluses against a vRef epoch, drift-bounded exact
+// pick scans, refresh only when scans grow long), and the readjustment pass
+// reuses scratch buffers and skips classes whose rate and membership are
+// unchanged since the previous pass — on a class-partitioned workload the
+// common arrival/departure only recomputes the affected class.
 package hier
 
 import (
@@ -51,6 +58,11 @@ type Class struct {
 	phi     float64 // readjusted class rate, in CPUs
 	members []*sched.Thread
 	service simtime.Duration
+
+	dirty  bool    // membership or a member weight changed since last pass
+	maxPhi float64 // largest member φ after the last recomputation
+	tw, tc []float64
+	rates  []float64
 }
 
 // Name returns the class name.
@@ -76,11 +88,26 @@ type Hier struct {
 	assign  map[*sched.Thread]*Class
 	def     *Class
 
-	byStart   *runqueue.List[*sched.Thread]
-	bySurplus *runqueue.List[*sched.Thread]
+	byStart   *runqueue.Heap[*sched.Thread]
+	bySurplus *runqueue.Heap[*sched.Thread]
 	v         float64
 	lastFin   float64
 	decisions int64
+
+	// Lazy-surplus state: stored surpluses are relative to vRef; phiMax
+	// bounds how fast any fresh surplus can fall below its stored value.
+	vRef        float64
+	phiMax      float64
+	scanLimit   int
+	needRefresh bool
+
+	// Readjustment scratch, reused across passes.
+	classFiller  readjust.Filler
+	threadFiller readjust.Filler
+	active       []*Class
+	weights      []float64
+	caps         []float64
+	rates        []float64
 }
 
 // New returns a hierarchical scheduler for p processors with a default
@@ -93,26 +120,21 @@ func New(p int, quantum simtime.Duration) *Hier {
 		quantum = core.DefaultQuantum
 	}
 	h := &Hier{
-		p:       p,
-		quantum: quantum,
-		byName:  make(map[string]*Class),
-		assign:  make(map[*sched.Thread]*Class),
+		p:         p,
+		quantum:   quantum,
+		byName:    make(map[string]*Class),
+		assign:    make(map[*sched.Thread]*Class),
+		scanLimit: 32,
 	}
-	h.byStart = runqueue.NewList(func(a, b *sched.Thread) bool {
+	h.byStart = runqueue.NewHeap(runqueue.SlotPrimary, func(a, b *sched.Thread) bool {
 		if a.Start != b.Start {
 			return a.Start < b.Start
 		}
 		return a.ID < b.ID
 	})
-	h.bySurplus = runqueue.NewList(func(a, b *sched.Thread) bool {
-		if a.Surplus != b.Surplus {
-			return a.Surplus < b.Surplus
-		}
-		if a.Weight != b.Weight {
-			return a.Weight > b.Weight
-		}
-		return a.ID < b.ID
-	})
+	// Heap order and Pick's no-drift prune must be the same function;
+	// both use core.SurplusQueueLess.
+	h.bySurplus = runqueue.NewHeap(runqueue.SlotSurplus, core.SurplusQueueLess)
 	h.def = h.MustAddClass("default", 1)
 	return h
 }
@@ -188,11 +210,12 @@ func (h *Hier) Add(t *sched.Thread, now simtime.Time) error {
 	c := h.ClassOf(t)
 	t.Start = math.Max(t.Finish, h.v)
 	c.members = append(c.members, t)
-	h.byStart.Insert(t)
+	c.dirty = true
+	h.byStart.Push(t)
 	h.readjust()
 	h.recomputeV()
 	h.storeSurplus(t)
-	h.bySurplus.Insert(t)
+	h.bySurplus.Push(t)
 	h.refreshSurpluses()
 	return nil
 }
@@ -211,6 +234,7 @@ func (h *Hier) Remove(t *sched.Thread, now simtime.Time) error {
 			break
 		}
 	}
+	c.dirty = true
 	if t.State == sched.Exited {
 		delete(h.assign, t)
 	}
@@ -221,6 +245,9 @@ func (h *Hier) Remove(t *sched.Thread, now simtime.Time) error {
 }
 
 // Charge implements sched.Scheduler: F = S + q/φ with the hierarchical φ.
+// Like internal/core's exact mode, a virtual-time change does not trigger a
+// global surplus refresh: stored surpluses stay on the vRef epoch and Pick
+// compensates for the drift.
 func (h *Hier) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
 	if ran < 0 {
 		panic("hier: negative charge")
@@ -234,12 +261,14 @@ func (h *Hier) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
 	h.lastFin = t.Finish
 	if h.byStart.Contains(t) {
 		h.byStart.Fix(t)
-	}
-	if h.recomputeV() {
-		h.refreshSurpluses()
-	} else if h.byStart.Contains(t) {
+		h.recomputeV()
 		h.storeSurplus(t)
 		h.bySurplus.Fix(t)
+	} else {
+		h.recomputeV()
+	}
+	if h.needRefresh {
+		h.refreshSurpluses()
 	}
 }
 
@@ -258,22 +287,63 @@ func (h *Hier) SetWeight(t *sched.Thread, w float64, now simtime.Time) error {
 		t.Phi = w
 		return nil
 	}
+	h.ClassOf(t).dirty = true
 	h.readjust()
 	h.refreshSurpluses()
 	return nil
 }
 
 // Pick implements sched.Scheduler: the least-surplus runnable thread, flat
-// across classes.
+// across classes. The scan runs over the stale stored order with the same
+// drift bound as core's exact pick: fresh surpluses sit below stored ones by
+// at most φ_max·(v − vRef), so the scan stops once no later thread can beat
+// the incumbent.
 func (h *Hier) Pick(cpu int, now simtime.Time) *sched.Thread {
+	noDrift := h.v == h.vRef
+	var bound, slack float64
+	if !noDrift {
+		drift := h.v - h.vRef
+		if drift < 0 {
+			drift = -drift
+		}
+		bound = h.phiMax * drift
+		slack = 1e-12 * (bound + h.phiMax*(math.Abs(h.v)+math.Abs(h.vRef)) + 1)
+	}
 	var best *sched.Thread
-	h.bySurplus.Each(func(t *sched.Thread) bool {
+	var bestS float64
+	cut := math.Inf(1)
+	scanned := 0
+	h.bySurplus.EachUnder(func(t *sched.Thread) bool {
+		if best != nil {
+			if noDrift {
+				// Fresh == stored: only queue-order predecessors of the
+				// incumbent can matter.
+				if !core.SurplusQueueLess(t, best) {
+					return false
+				}
+			} else if t.Surplus > cut {
+				return false
+			}
+		}
+		scanned++
 		if t.Running() {
 			return true
 		}
-		best = t
-		return false
+		fresh := t.Phi * (t.Start - h.v)
+		if better := best == nil || fresh < bestS ||
+			(fresh == bestS && (t.Weight > best.Weight ||
+				(t.Weight == best.Weight && t.ID < best.ID))); better {
+			best, bestS = t, fresh
+			cut = bestS + bound + slack + 1e-12*math.Abs(bestS)
+			if noDrift {
+				return false // descendants are strictly worse
+			}
+		}
+		return true
 	})
+	if scanned > h.scanLimit && !noDrift {
+		h.needRefresh = true
+	}
 	if best != nil {
 		h.decisions++
 		best.Decisions++
@@ -286,46 +356,70 @@ func (h *Hier) Less(a, b *sched.Thread) bool {
 	return a.Phi*(a.Start-h.v) < b.Phi*(b.Start-h.v)
 }
 
-// readjust recomputes every runnable thread's φ as its hierarchical GMS
-// rate: nested water-filling, classes first, then threads within each class.
+// readjust recomputes runnable threads' φ as their hierarchical GMS rates:
+// nested water-filling, classes first, then threads within each class. A
+// class whose rate is unchanged and whose membership and member weights are
+// untouched since the previous pass keeps its thread rates — water-filling
+// is deterministic, so skipping the recomputation is exact, and an
+// arrival/departure in one class that leaves sibling rates unchanged costs
+// only that class's pass.
 func (h *Hier) readjust() {
-	var active []*Class
-	weights := make([]float64, 0, len(h.classes))
-	caps := make([]float64, 0, len(h.classes))
+	h.active = h.active[:0]
+	h.weights = h.weights[:0]
+	h.caps = h.caps[:0]
 	for _, c := range h.classes {
 		if len(c.members) == 0 {
+			c.dirty = false
 			continue
 		}
-		active = append(active, c)
-		weights = append(weights, c.weight)
+		h.active = append(h.active, c)
+		h.weights = append(h.weights, c.weight)
 		cap := float64(len(c.members))
 		if cap > float64(h.p) {
 			cap = float64(h.p)
 		}
-		caps = append(caps, cap)
+		h.caps = append(h.caps, cap)
 	}
-	if len(active) == 0 {
+	if len(h.active) == 0 {
+		h.phiMax = 0
 		return
 	}
-	rates := readjust.WaterFill(weights, caps, float64(h.p))
-	for i, c := range active {
-		c.phi = rates[i]
-		tw := make([]float64, len(c.members))
-		tc := make([]float64, len(c.members))
-		for j, t := range c.members {
-			tw[j] = t.Weight
-			tc[j] = 1 // a thread can hold at most one CPU
+	h.rates = h.classFiller.Fill(h.rates, h.weights, h.caps, float64(h.p))
+	h.phiMax = 0
+	for i, c := range h.active {
+		if !c.dirty && c.phi == h.rates[i] {
+			// Same class rate, same members, same member weights: the
+			// inner water-fill would reproduce the stored φ values.
+			if c.maxPhi > h.phiMax {
+				h.phiMax = c.maxPhi
+			}
+			continue
 		}
-		trates := readjust.WaterFill(tw, tc, c.phi)
+		c.phi = h.rates[i]
+		c.tw = c.tw[:0]
+		c.tc = c.tc[:0]
+		for _, t := range c.members {
+			c.tw = append(c.tw, t.Weight)
+			c.tc = append(c.tc, 1) // a thread can hold at most one CPU
+		}
+		c.rates = h.threadFiller.Fill(c.rates, c.tw, c.tc, c.phi)
+		c.maxPhi = 0
 		for j, t := range c.members {
-			t.Phi = trates[j]
+			t.Phi = c.rates[j]
+			if t.Phi > c.maxPhi {
+				c.maxPhi = t.Phi
+			}
+		}
+		c.dirty = false
+		if c.maxPhi > h.phiMax {
+			h.phiMax = c.maxPhi
 		}
 	}
 }
 
 func (h *Hier) recomputeV() bool {
 	var nv float64
-	if head, ok := h.byStart.Head(); ok {
+	if head, ok := h.byStart.Min(); ok {
 		nv = head.Start
 	} else {
 		nv = h.lastFin
@@ -337,14 +431,21 @@ func (h *Hier) recomputeV() bool {
 	return true
 }
 
+// storeSurplus stores t's surplus against the vRef epoch shared by the
+// surplus queue.
 func (h *Hier) storeSurplus(t *sched.Thread) {
-	t.Surplus = t.Phi * (t.Start - h.v)
+	t.Surplus = t.Phi * (t.Start - h.vRef)
 }
 
+// refreshSurpluses snaps vRef to v, recomputes every stored surplus and
+// re-sorts the surplus queue.
 func (h *Hier) refreshSurpluses() {
+	h.vRef = h.v
+	h.needRefresh = false
+	h.scanLimit = 32 + int(math.Sqrt(float64(h.byStart.Len())))
 	h.byStart.Each(func(t *sched.Thread) bool {
 		h.storeSurplus(t)
 		return true
 	})
-	h.bySurplus.ReSort()
+	h.bySurplus.Init()
 }

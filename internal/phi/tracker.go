@@ -32,7 +32,9 @@ type Tracker struct {
 	byWeight *runqueue.List[*sched.Thread] // descending weight
 	sum      float64                       // Σ w_i over runnable threads
 	capped   []*sched.Thread               // threads with φ != w after the last pass
+	heavy    []*sched.Thread               // scratch for the heaviest-prefix scan
 	passes   int64                         // readjustment passes that changed some φ
+	onPhi    func(*sched.Thread)           // hook invoked after a φ assignment
 }
 
 // NewTracker returns a tracker for p processors. If enabled is false the
@@ -42,13 +44,33 @@ func NewTracker(p int, enabled bool) *Tracker {
 	return &Tracker{
 		cap:     float64(p),
 		enabled: enabled,
-		byWeight: runqueue.NewList(func(a, b *sched.Thread) bool {
+		byWeight: runqueue.NewList(runqueue.SlotWeight, func(a, b *sched.Thread) bool {
 			if a.Weight != b.Weight {
 				return a.Weight > b.Weight
 			}
 			return a.ID < b.ID
 		}),
 	}
+}
+
+// OnPhiChange registers a hook called every time the tracker assigns a
+// thread's φ (including the initial φ = w on Add). Schedulers that maintain
+// derived per-thread state — stored surpluses, fixed-point φ caches — use it
+// to update incrementally instead of sweeping the whole runnable set.
+func (k *Tracker) OnPhiChange(fn func(*sched.Thread)) { k.onPhi = fn }
+
+// setPhi assigns t's φ and fires the hook if the value changed (or force is
+// set, for the initial assignment).
+func (k *Tracker) setPhi(t *sched.Thread, phi float64, force bool) bool {
+	if t.Phi == phi && !force {
+		return false
+	}
+	changed := t.Phi != phi
+	t.Phi = phi
+	if k.onPhi != nil {
+		k.onPhi(t)
+	}
+	return changed
 }
 
 // Enabled reports whether readjustment is active.
@@ -93,10 +115,17 @@ func (k *Tracker) Passes() int64 { return k.passes }
 // Contains reports whether t is tracked.
 func (k *Tracker) Contains(t *sched.Thread) bool { return k.byWeight.Contains(t) }
 
+// Heaviest returns the tracked thread with the largest requested weight.
+// Since readjustment only ever lowers weights (φ_i ≤ w_i), the head of the
+// weight queue bounds every instantaneous weight in the runnable set — the
+// fact the exact scheduler's drift-bounded pick scan relies on.
+func (k *Tracker) Heaviest() (*sched.Thread, bool) { return k.byWeight.Head() }
+
 // Add starts tracking t (which must not already be tracked) and readjusts.
-// It reports whether any φ changed.
+// It reports whether any φ changed. The φ hook always fires for t so that
+// derived caches (FxPhi) are primed even when φ == w.
 func (k *Tracker) Add(t *sched.Thread) bool {
-	t.Phi = t.Weight
+	k.setPhi(t, t.Weight, true)
 	k.sum += t.Weight
 	k.byWeight.Insert(t)
 	return k.Readjust()
@@ -112,7 +141,7 @@ func (k *Tracker) Remove(t *sched.Thread) bool {
 	for i, c := range k.capped {
 		if c == t {
 			k.capped = append(k.capped[:i], k.capped[i+1:]...)
-			t.Phi = t.Weight
+			k.setPhi(t, t.Weight, false)
 			changed = true
 			break
 		}
@@ -122,10 +151,12 @@ func (k *Tracker) Remove(t *sched.Thread) bool {
 
 // UpdateWeight changes t's requested weight and readjusts. It reports
 // whether any φ changed (always true: t's own φ starts from the new weight).
+// The φ hook fires for t unconditionally: a weight change repositions t in
+// any queue that tie-breaks on weight even when φ is numerically unchanged.
 func (k *Tracker) UpdateWeight(t *sched.Thread, w float64) bool {
 	k.sum += w - t.Weight
 	t.Weight = w
-	t.Phi = w
+	k.setPhi(t, w, true)
 	k.byWeight.Fix(t)
 	k.Readjust()
 	return true
@@ -149,8 +180,7 @@ func (k *Tracker) Readjust() bool {
 	changed := false
 	// Reset previously capped threads; still-infeasible ones are re-capped.
 	for _, t := range k.capped {
-		if t.Phi != t.Weight {
-			t.Phi = t.Weight
+		if k.setPhi(t, t.Weight, false) {
 			changed = true
 		}
 	}
@@ -171,8 +201,7 @@ func (k *Tracker) Readjust() bool {
 		tail, _ := k.byWeight.Tail()
 		min := tail.Weight
 		k.byWeight.Each(func(t *sched.Thread) bool {
-			if t.Phi != min {
-				t.Phi = min
+			if k.setPhi(t, min, false) {
 				changed = true
 			}
 			if t.Phi != t.Weight {
@@ -188,8 +217,10 @@ func (k *Tracker) Readjust() bool {
 	// General case: at most ceil(cap)-1 threads can violate the
 	// feasibility constraint (§2.1), so inspect only that many of the
 	// heaviest. Capping is possible only while the remaining capacity
-	// exceeds one CPU.
-	heavy := k.byWeight.FirstN(int(k.cap))
+	// exceeds one CPU. The prefix scratch is reused across passes to keep
+	// the blocking/wakeup path allocation-free.
+	k.heavy = k.byWeight.AppendFirstN(k.heavy[:0], int(k.cap))
+	heavy := k.heavy
 	sum := k.sum
 	capped := 0
 	for i, t := range heavy {
@@ -207,8 +238,7 @@ func (k *Tracker) Readjust() bool {
 	suffix := sum
 	for j := capped - 1; j >= 0; j-- {
 		phi := suffix / (k.cap - float64(j) - 1)
-		if heavy[j].Phi != phi {
-			heavy[j].Phi = phi
+		if k.setPhi(heavy[j], phi, false) {
 			changed = true
 		}
 		k.capped = append(k.capped, heavy[j])

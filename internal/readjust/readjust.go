@@ -194,11 +194,33 @@ func NumCapped(w []float64, p int) int {
 // cap is below capacity, the result sums to the total cap (the machine
 // cannot be fully used).
 func WaterFill(weights, caps []float64, capacity float64) []float64 {
+	var f Filler
+	return f.Fill(nil, weights, caps, capacity)
+}
+
+// Filler runs water-filling passes with reusable scratch space, so callers
+// that readjust on every runnable-set change (internal/hier) stay
+// allocation-free in steady state. The zero value is ready to use; a Filler
+// is not safe for concurrent use.
+type Filler struct {
+	pinned []bool
+}
+
+// Fill is WaterFill writing the rates into out (grown as needed, reused when
+// capacity suffices) and returning it.
+func (f *Filler) Fill(out, weights, caps []float64, capacity float64) []float64 {
 	if len(weights) != len(caps) {
 		panic("readjust: mismatched weights and caps")
 	}
 	validate(weights, 1)
-	out := make([]float64, len(weights))
+	if cap(out) < len(weights) {
+		out = make([]float64, len(weights))
+	} else {
+		out = out[:len(weights)]
+		for i := range out {
+			out[i] = 0
+		}
+	}
 	if len(weights) == 0 {
 		return out
 	}
@@ -213,7 +235,15 @@ func WaterFill(weights, caps []float64, capacity float64) []float64 {
 	if totalCap < remaining {
 		remaining = totalCap
 	}
-	pinned := make([]bool, len(weights))
+	if cap(f.pinned) < len(weights) {
+		f.pinned = make([]bool, len(weights))
+	} else {
+		f.pinned = f.pinned[:len(weights)]
+		for i := range f.pinned {
+			f.pinned[i] = false
+		}
+	}
+	pinned := f.pinned
 	for {
 		var wsum float64
 		for i, w := range weights {

@@ -1,20 +1,28 @@
 package runqueue
 
-// Heap is a binary min-heap with an element→index map, offering O(log n)
-// insert/remove/fix and O(1) min. It is the alternative run-queue backing
-// used by the ablation benchmarks (BenchmarkAblationQueueBacking) to weigh
-// the paper's linked-list + insertion-sort design against a textbook
-// priority queue: the list wins on mostly-sorted re-sorts and O(1) head
-// access patterns, the heap wins on adversarial churn.
-type Heap[T comparable] struct {
-	less func(a, b T) bool
-	vals []T
-	idx  map[T]int
+import "fmt"
+
+// Heap is a binary min-heap with intrusive element→index handles, offering
+// O(log n) insert/remove/fix and O(1) min. The surplus fair scheduler's
+// start-tag and surplus queues use it in place of the paper's sorted lists:
+// a charged thread typically jumps from the front of a queue to its middle,
+// which costs O(rank distance) to reposition in any linked list but O(log n)
+// here — the difference between the two is most of the per-decision cost on
+// deep run queues (DESIGN.md §3). Bounded traversals (EachUnder,
+// AppendKSmallest) stand in for the list's ordered scans. Like List, the
+// heap stores its per-element position in the element's Handle for the
+// configured slot (the heap field, so a List and a Heap may share a slot).
+type Heap[T Indexed[T]] struct {
+	slot  Slot
+	less  func(a, b T) bool
+	vals  []T
+	stack []int32 // EachUnder traversal scratch
+	kbuf  []int32 // AppendKSmallest candidate-heap scratch
 }
 
-// NewHeap returns an empty heap ordered by less.
-func NewHeap[T comparable](less func(a, b T) bool) *Heap[T] {
-	return &Heap[T]{less: less, idx: make(map[T]int)}
+// NewHeap returns an empty heap on the given handle slot, ordered by less.
+func NewHeap[T Indexed[T]](slot Slot, less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{slot: slot, less: less}
 }
 
 // Len returns the number of elements.
@@ -22,17 +30,17 @@ func (h *Heap[T]) Len() int { return len(h.vals) }
 
 // Contains reports whether x is present.
 func (h *Heap[T]) Contains(x T) bool {
-	_, ok := h.idx[x]
-	return ok
+	return x.RunqueueHandle(h.slot).heap != 0
 }
 
 // Push inserts x. It panics on duplicates, matching List.Insert.
 func (h *Heap[T]) Push(x T) {
-	if _, ok := h.idx[x]; ok {
+	hd := x.RunqueueHandle(h.slot)
+	if hd.heap != 0 {
 		panic("runqueue: duplicate heap push")
 	}
 	h.vals = append(h.vals, x)
-	h.idx[x] = len(h.vals) - 1
+	hd.heap = int32(len(h.vals))
 	h.up(len(h.vals) - 1)
 }
 
@@ -47,14 +55,17 @@ func (h *Heap[T]) Min() (T, bool) {
 
 // Remove deletes x, reporting whether it was present.
 func (h *Heap[T]) Remove(x T) bool {
-	i, ok := h.idx[x]
-	if !ok {
+	hd := x.RunqueueHandle(h.slot)
+	if hd.heap == 0 {
 		return false
 	}
+	i := int(hd.heap) - 1
 	last := len(h.vals) - 1
 	h.swap(i, last)
+	var zero T
+	h.vals[last] = zero
 	h.vals = h.vals[:last]
-	delete(h.idx, x)
+	hd.heap = 0
 	if i < last {
 		if !h.down(i) {
 			h.up(i)
@@ -65,23 +76,143 @@ func (h *Heap[T]) Remove(x T) bool {
 
 // Fix restores heap order after x's key changed.
 func (h *Heap[T]) Fix(x T) bool {
-	i, ok := h.idx[x]
-	if !ok {
+	hd := x.RunqueueHandle(h.slot)
+	if hd.heap == 0 {
 		return false
 	}
+	i := int(hd.heap) - 1
 	if !h.down(i) {
 		h.up(i)
 	}
 	return true
 }
 
+// Each calls fn on every element in unspecified (heap storage) order until
+// fn returns false. Use it for order-independent reductions and sweeps.
+func (h *Heap[T]) Each(fn func(T) bool) {
+	for _, x := range h.vals {
+		if !fn(x) {
+			return
+		}
+	}
+}
+
+// Init restores the heap invariant after many keys changed at once — the
+// heap analogue of List.ReSort — in O(n).
+func (h *Heap[T]) Init() {
+	for i := len(h.vals)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// EachUnder runs a pruned depth-first traversal: fn sees the root, and the
+// children of every element for which fn returned true. Since ancestors
+// precede descendants in heap order, an fn of the form "key(x) ≤ cut"
+// visits every element within the cut — even a cut that tightens during the
+// traversal, because an element within the final cut has all its ancestors
+// within it too. This is how the scheduler enumerates the candidates of a
+// drift-bounded pick without the list's ordered scan. The traversal stack is
+// retained across calls, so steady-state use does not allocate.
+func (h *Heap[T]) EachUnder(fn func(T) bool) {
+	if len(h.vals) == 0 {
+		return
+	}
+	stack := append(h.stack[:0], 0)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(h.vals[i]) {
+			continue
+		}
+		if l := 2*i + 1; int(l) < len(h.vals) {
+			stack = append(stack, l)
+			if r := l + 1; int(r) < len(h.vals) {
+				stack = append(stack, r)
+			}
+		}
+	}
+	h.stack = stack[:0]
+}
+
+// AppendKSmallest appends the k smallest elements, in ascending order, to
+// dst and returns it — the §3.2 heuristic's bounded first-k examination.
+// It runs a best-first search over the heap with a scratch index-heap of
+// frontier candidates: O(k log k) comparisons, no allocation in steady
+// state.
+func (h *Heap[T]) AppendKSmallest(dst []T, k int) []T {
+	if k <= 0 || len(h.vals) == 0 {
+		return dst
+	}
+	cand := h.kbuf[:0]
+	candLess := func(a, b int32) bool { return h.less(h.vals[a], h.vals[b]) }
+	push := func(i int32) {
+		cand = append(cand, i)
+		for j := len(cand) - 1; j > 0; {
+			p := (j - 1) / 2
+			if !candLess(cand[j], cand[p]) {
+				break
+			}
+			cand[j], cand[p] = cand[p], cand[j]
+			j = p
+		}
+	}
+	push(0)
+	for len(cand) > 0 && k > 0 {
+		top := cand[0]
+		last := len(cand) - 1
+		cand[0] = cand[last]
+		cand = cand[:last]
+		for j := 0; ; {
+			l, r := 2*j+1, 2*j+2
+			if l >= len(cand) {
+				break
+			}
+			m := l
+			if r < len(cand) && candLess(cand[r], cand[l]) {
+				m = r
+			}
+			if !candLess(cand[m], cand[j]) {
+				break
+			}
+			cand[j], cand[m] = cand[m], cand[j]
+			j = m
+		}
+		dst = append(dst, h.vals[top])
+		k--
+		if l := 2*top + 1; int(l) < len(h.vals) {
+			push(l)
+			if r := l + 1; int(r) < len(h.vals) {
+				push(r)
+			}
+		}
+	}
+	h.kbuf = cand[:0]
+	return dst
+}
+
 // Slice returns the elements in heap (not sorted) order; for tests.
 func (h *Heap[T]) Slice() []T { return append([]T(nil), h.vals...) }
 
+// Validate checks the heap invariant and handle agreement; tests and the
+// simulator's paranoia mode call it after every operation.
+func (h *Heap[T]) Validate() error {
+	for i, x := range h.vals {
+		if got := x.RunqueueHandle(h.slot).heap; int(got) != i+1 {
+			return fmt.Errorf("runqueue: heap handle out of sync at %d (%v)", i, x)
+		}
+		if i > 0 {
+			if p := (i - 1) / 2; h.less(x, h.vals[p]) {
+				return fmt.Errorf("runqueue: heap order violated at %d (%v)", i, x)
+			}
+		}
+	}
+	return nil
+}
+
 func (h *Heap[T]) swap(i, j int) {
 	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
-	h.idx[h.vals[i]] = i
-	h.idx[h.vals[j]] = j
+	h.vals[i].RunqueueHandle(h.slot).heap = int32(i + 1)
+	h.vals[j].RunqueueHandle(h.slot).heap = int32(j + 1)
 }
 
 func (h *Heap[T]) up(i int) {

@@ -9,6 +9,19 @@
 // insertion sort shines). List reproduces exactly that structure. Heap is a
 // container/heap-backed alternative used by the ablation benchmarks to
 // quantify the paper's design choice.
+//
+// # Intrusive handles
+//
+// Like the kernel's task_struct (which embeds its run-queue links directly),
+// elements carry their own queue handles: an element reserves one Handle per
+// Slot and exposes them through the Indexed interface. Membership tests,
+// removal and repositioning are then pointer dereferences instead of hash
+// lookups, and the auxiliary map the first implementation of this package
+// used — one hash insert/delete per blocking/wakeup transition, a hash
+// lookup per Fix — disappears from the hot path entirely. The cost is the
+// kernel's own trade-off: an element can be in at most one queue per slot at
+// a time, which run queues satisfy by construction (a thread is managed by
+// exactly one scheduler).
 package runqueue
 
 import (
@@ -16,34 +29,87 @@ import (
 	"fmt"
 )
 
-// List is a sorted doubly-linked list over elements of type T with an
-// auxiliary index for O(1) removal. The sort order is defined by the less
-// function at construction time; keys live inside the elements, so when keys
-// mutate the caller must reposition elements with Fix or ReSort.
-type List[T comparable] struct {
+// List is a sorted doubly-linked list over elements of type T with intrusive
+// position handles for O(1) membership tests and removal. The sort order is
+// defined by the less function at construction time; keys live inside the
+// elements, so when keys mutate the caller must reposition elements with Fix
+// or ReSort.
+type List[T Indexed[T]] struct {
+	slot Slot
 	less func(a, b T) bool
-	head *node[T]
-	tail *node[T]
-	pos  map[T]*node[T]
+	head *Node[T]
+	tail *Node[T]
+	free *Node[T] // recycled nodes, chained through next
+	n    int
 }
 
-type node[T comparable] struct {
+// Slot identifies which of an element's intrusive handles a queue uses.
+// Queues whose element sets may overlap must use distinct slots; the three
+// kernel run queues get one slot each. Policies other than SFS reuse
+// SlotPrimary for their single policy queue (pass order, effective virtual
+// time, ...), since a thread is managed by one scheduler at a time.
+type Slot uint8
+
+// The handle slots reserved on every element.
+const (
+	// SlotWeight is the descending-weight queue (phi.Tracker).
+	SlotWeight Slot = iota
+	// SlotPrimary is the policy's main queue: ascending start tags for SFS
+	// and SFQ, pass order for stride, effective virtual time for BVT.
+	SlotPrimary
+	// SlotSurplus is the ascending-surplus queue (SFS, hier).
+	SlotSurplus
+	// NumSlots is the number of handles an element must reserve.
+	NumSlots
+)
+
+// Handle is the per-slot queue state an element carries: its node in a List
+// and/or its position in a Heap. The zero value means "in no queue". One
+// Handle serves one List and one Heap simultaneously (distinct fields), so a
+// slot is only contended between two queues of the same kind.
+type Handle[T any] struct {
+	node *Node[T]
+	heap int32 // heap index + 1; 0 = absent
+}
+
+// Node is a doubly-linked list node. Nodes are owned and recycled by the
+// List; elements reference them through their Handle.
+type Node[T any] struct {
 	val        T
-	prev, next *node[T]
+	prev, next *Node[T]
 }
 
-// NewList returns an empty list sorted by less (strict weak order).
-func NewList[T comparable](less func(a, b T) bool) *List[T] {
-	return &List[T]{less: less, pos: make(map[T]*node[T])}
+// Indexed is the constraint for intrusive queue elements: Handle returns the
+// element's handle for the given slot. Implementations return a pointer into
+// the element itself (e.g. &t.rq[s]); the queue mutates it in place.
+type Indexed[T any] interface {
+	RunqueueHandle(Slot) *Handle[T]
+}
+
+// NewList returns an empty list on the given handle slot, sorted by less
+// (strict weak order).
+func NewList[T Indexed[T]](slot Slot, less func(a, b T) bool) *List[T] {
+	return &List[T]{slot: slot, less: less}
 }
 
 // Len returns the number of elements.
-func (l *List[T]) Len() int { return len(l.pos) }
+func (l *List[T]) Len() int { return l.n }
 
 // Contains reports whether x is in the list.
 func (l *List[T]) Contains(x T) bool {
-	_, ok := l.pos[x]
-	return ok
+	return x.RunqueueHandle(l.slot).node != nil
+}
+
+// newNode pops a recycled node or allocates one.
+func (l *List[T]) newNode(x T) *Node[T] {
+	n := l.free
+	if n == nil {
+		return &Node[T]{val: x}
+	}
+	l.free = n.next
+	n.val = x
+	n.next = nil
+	return n
 }
 
 // Insert places x at its sorted position (after any equal elements, so
@@ -52,22 +118,41 @@ func (l *List[T]) Contains(x T) bool {
 // duplicates, so a duplicate insert is a lifecycle bug worth failing loudly
 // on.
 func (l *List[T]) Insert(x T) {
-	if _, ok := l.pos[x]; ok {
-		panic(fmt.Sprintf("runqueue: duplicate insert of %v", x))
+	h := x.RunqueueHandle(l.slot)
+	if h.node != nil {
+		panic("runqueue: duplicate insert")
 	}
-	n := &node[T]{val: x}
-	l.pos[x] = n
-	// Scan from the tail: arriving threads usually carry recent (large)
-	// tags, so the expected scan is short for start-tag and surplus queues.
-	cur := l.tail
-	for cur != nil && l.less(x, cur.val) {
-		cur = cur.prev
+	n := l.newNode(x)
+	h.node = n
+	l.n++
+	// Scan from both ends simultaneously: a woken thread carries a tag near
+	// the virtual time (front of the queue), a freshly charged or heavy
+	// thread a recent large tag (back), so min(distance from either end)
+	// keeps both arrival patterns cheap on deep queues.
+	if l.head == nil {
+		l.insertAfter(n, nil)
+		return
 	}
-	l.insertAfter(n, cur)
+	a, b := l.tail, l.head
+	for {
+		if !l.less(x, a.val) { // a ≤ x: insert right after a (FIFO ties)
+			l.insertAfter(n, a)
+			return
+		}
+		if a = a.prev; a == nil { // x precedes everything
+			l.insertAfter(n, nil)
+			return
+		}
+		if l.less(x, b.val) { // b > x: insert right before b
+			l.insertAfter(n, b.prev)
+			return
+		}
+		b = b.next
+	}
 }
 
 // insertAfter links n immediately after cur (cur == nil means at the head).
-func (l *List[T]) insertAfter(n, cur *node[T]) {
+func (l *List[T]) insertAfter(n, cur *Node[T]) {
 	if cur == nil {
 		n.next = l.head
 		n.prev = nil
@@ -90,18 +175,25 @@ func (l *List[T]) insertAfter(n, cur *node[T]) {
 	}
 }
 
-// Remove unlinks x in O(1). It reports whether x was present.
+// Remove unlinks x in O(1) and recycles its node. It reports whether x was
+// present.
 func (l *List[T]) Remove(x T) bool {
-	n, ok := l.pos[x]
-	if !ok {
+	h := x.RunqueueHandle(l.slot)
+	n := h.node
+	if n == nil {
 		return false
 	}
-	delete(l.pos, x)
+	h.node = nil
+	l.n--
 	l.unlink(n)
+	var zero T
+	n.val = zero
+	n.next = l.free
+	l.free = n
 	return true
 }
 
-func (l *List[T]) unlink(n *node[T]) {
+func (l *List[T]) unlink(n *Node[T]) {
 	if n.prev != nil {
 		n.prev.next = n.next
 	} else {
@@ -133,24 +225,71 @@ func (l *List[T]) Tail() (T, bool) {
 	return l.tail.val, true
 }
 
-// Fix repositions x after its key changed; O(distance moved). It reports
-// whether x was present.
+// Fix repositions x after its key changed, scanning simultaneously from x's
+// current position and from the far end of the list until either scan finds
+// the insertion point — O(min(distance moved, distance from the end)). Both
+// common cases are cheap: a charged thread jumping from the head to near the
+// tail is found from the tail in a few steps (the case the original
+// scan-from-tail handled), and a thread nudged a few positions is found from
+// its old position (the case that made scan-from-tail O(n) on deep queues).
+//
+// With genuine key ties a leftward move lands after its equals and a
+// rightward move before them; every scheduler queue orders ties by thread ID,
+// so run-queue positions are unaffected. Fix reports whether x was present.
 func (l *List[T]) Fix(x T) bool {
-	n, ok := l.pos[x]
-	if !ok {
+	n := x.RunqueueHandle(l.slot).node
+	if n == nil {
 		return false
 	}
-	// Fast path: already in order relative to neighbours.
-	if (n.prev == nil || !l.less(n.val, n.prev.val)) &&
-		(n.next == nil || !l.less(n.next.val, n.val)) {
-		return true
+	switch {
+	case n.prev != nil && l.less(n.val, n.prev.val):
+		// Moves left. Target: after the last element ≤ x. The near scan
+		// walks left from the old position, the far scan right from the
+		// head; they close in on the same spot from opposite sides.
+		a, b := n.prev, l.head
+		for {
+			if !l.less(x, a.val) { // a ≤ x: insert right after a
+				l.unlink(n)
+				l.insertAfter(n, a)
+				return true
+			}
+			if a = a.prev; a == nil { // everything left of n exceeds x
+				l.unlink(n)
+				l.insertAfter(n, nil)
+				return true
+			}
+			if l.less(x, b.val) { // b > x: insert right before b
+				at := b.prev
+				l.unlink(n)
+				l.insertAfter(n, at)
+				return true
+			}
+			b = b.next
+		}
+	case n.next != nil && l.less(n.next.val, n.val):
+		// Moves right. Target: after the last element < x.
+		a, b := n.next, l.tail
+		for {
+			if !l.less(a.val, x) { // a ≥ x: insert right before a
+				at := a.prev
+				l.unlink(n)
+				l.insertAfter(n, at)
+				return true
+			}
+			if a.next == nil { // everything right of n is below x
+				l.unlink(n)
+				l.insertAfter(n, a)
+				return true
+			}
+			a = a.next
+			if l.less(b.val, x) { // b < x: insert right after b
+				l.unlink(n)
+				l.insertAfter(n, b)
+				return true
+			}
+			b = b.prev
+		}
 	}
-	l.unlink(n)
-	cur := l.tail
-	for cur != nil && l.less(x, cur.val) {
-		cur = cur.prev
-	}
-	l.insertAfter(n, cur)
 	return true
 }
 
@@ -198,61 +337,69 @@ func (l *List[T]) EachReverse(fn func(T) bool) {
 	}
 }
 
-// FirstN returns up to n elements from the front, in order.
-func (l *List[T]) FirstN(n int) []T {
-	out := make([]T, 0, n)
-	for cur := l.head; cur != nil && len(out) < n; cur = cur.next {
-		out = append(out, cur.val)
+// AppendFirstN appends up to n elements from the front to dst, in order,
+// and returns the extended slice; callers on the hot path reuse dst across
+// invocations to stay allocation-free.
+func (l *List[T]) AppendFirstN(dst []T, n int) []T {
+	for cur := l.head; cur != nil && n > 0; cur = cur.next {
+		dst = append(dst, cur.val)
+		n--
 	}
-	return out
+	return dst
 }
 
-// LastN returns up to n elements from the back, in reverse order (the
-// least-weight end of the descending weight queue).
-func (l *List[T]) LastN(n int) []T {
-	out := make([]T, 0, n)
-	for cur := l.tail; cur != nil && len(out) < n; cur = cur.prev {
-		out = append(out, cur.val)
+// AppendLastN appends up to n elements from the back to dst in reverse order
+// (the least-weight end of the descending weight queue).
+func (l *List[T]) AppendLastN(dst []T, n int) []T {
+	for cur := l.tail; cur != nil && n > 0; cur = cur.prev {
+		dst = append(dst, cur.val)
+		n--
 	}
-	return out
+	return dst
 }
+
+// FirstN returns up to n elements from the front, in order.
+func (l *List[T]) FirstN(n int) []T { return l.AppendFirstN(make([]T, 0, n), n) }
+
+// LastN returns up to n elements from the back, in reverse order.
+func (l *List[T]) LastN(n int) []T { return l.AppendLastN(make([]T, 0, n), n) }
 
 // Slice returns all elements in ascending order (for tests and metrics).
 func (l *List[T]) Slice() []T {
-	out := make([]T, 0, len(l.pos))
+	out := make([]T, 0, l.n)
 	for n := l.head; n != nil; n = n.next {
 		out = append(out, n.val)
 	}
 	return out
 }
 
-// Validate checks structural invariants: forward/backward consistency, map
-// agreement, and sorted order. Used by tests and the simulator's paranoia
-// mode.
+// Validate checks structural invariants: forward/backward consistency,
+// handle agreement, and sorted order. Used by tests and the simulator's
+// paranoia mode.
 func (l *List[T]) Validate() error {
 	count := 0
-	var prev *node[T]
+	var prev *Node[T]
 	for n := l.head; n != nil; n = n.next {
 		if n.prev != prev {
 			return errors.New("runqueue: broken prev link")
 		}
-		if m, ok := l.pos[n.val]; !ok || m != n {
-			return errors.New("runqueue: index out of sync")
+		if n.val.RunqueueHandle(l.slot).node != n {
+			return errors.New("runqueue: handle out of sync")
 		}
 		if prev != nil && l.less(n.val, prev.val) {
 			return fmt.Errorf("runqueue: order violated at %v", n.val)
 		}
 		prev = n
 		count++
-		if count > len(l.pos) {
+		if count > l.n {
 			return errors.New("runqueue: cycle detected")
 		}
 	}
 	if prev != l.tail {
 		return errors.New("runqueue: tail out of sync")
 	}
-	if count != len(l.pos) {
-		return fmt.Errorf("runqueue: length mismatch: walked %d, index %d", count, len(l.pos))
+	if count != l.n {
+		return fmt.Errorf("runqueue: length mismatch: walked %d, counted %d", count, l.n)
 	}
 	return nil
 }

@@ -8,11 +8,15 @@ import (
 	"sfsched/internal/xrand"
 )
 
-// item is a mutable-key element for list tests.
+// item is a mutable-key element for list tests, carrying its intrusive
+// handles like sched.Thread does.
 type item struct {
 	id  int
 	key float64
+	rq  [NumSlots]Handle[*item]
 }
+
+func (it *item) RunqueueHandle(s Slot) *Handle[*item] { return &it.rq[s] }
 
 func byKey(a, b *item) bool {
 	if a.key != b.key {
@@ -38,7 +42,7 @@ func keysOf(s []*item) []float64 {
 }
 
 func TestListInsertSorted(t *testing.T) {
-	l := NewList(byKey)
+	l := NewList(SlotPrimary, byKey)
 	for _, it := range newItems(5, 1, 3, 2, 4) {
 		l.Insert(it)
 	}
@@ -58,7 +62,7 @@ func TestListInsertSorted(t *testing.T) {
 }
 
 func TestListHeadTail(t *testing.T) {
-	l := NewList(byKey)
+	l := NewList(SlotPrimary, byKey)
 	if _, ok := l.Head(); ok {
 		t.Fatal("empty list has a head")
 	}
@@ -78,7 +82,7 @@ func TestListHeadTail(t *testing.T) {
 }
 
 func TestListRemove(t *testing.T) {
-	l := NewList(byKey)
+	l := NewList(SlotPrimary, byKey)
 	items := newItems(1, 2, 3)
 	for _, it := range items {
 		l.Insert(it)
@@ -101,7 +105,7 @@ func TestListRemove(t *testing.T) {
 }
 
 func TestListDuplicatePanics(t *testing.T) {
-	l := NewList(byKey)
+	l := NewList(SlotPrimary, byKey)
 	it := &item{id: 1, key: 1}
 	l.Insert(it)
 	defer func() {
@@ -114,7 +118,7 @@ func TestListDuplicatePanics(t *testing.T) {
 
 func TestListFIFOTieBreakByInsertion(t *testing.T) {
 	// Equal keys: later insertions land after earlier ones.
-	l := NewList(func(a, b *item) bool { return a.key < b.key })
+	l := NewList(SlotPrimary, func(a, b *item) bool { return a.key < b.key })
 	a := &item{id: 1, key: 5}
 	b := &item{id: 2, key: 5}
 	l.Insert(a)
@@ -126,7 +130,7 @@ func TestListFIFOTieBreakByInsertion(t *testing.T) {
 }
 
 func TestListFix(t *testing.T) {
-	l := NewList(byKey)
+	l := NewList(SlotPrimary, byKey)
 	items := newItems(1, 2, 3, 4)
 	for _, it := range items {
 		l.Insert(it)
@@ -147,7 +151,7 @@ func TestListFix(t *testing.T) {
 }
 
 func TestListReSort(t *testing.T) {
-	l := NewList(byKey)
+	l := NewList(SlotPrimary, byKey)
 	items := newItems(1, 2, 3, 4, 5)
 	for _, it := range items {
 		l.Insert(it)
@@ -163,7 +167,7 @@ func TestListReSort(t *testing.T) {
 }
 
 func TestListEachAndFirstN(t *testing.T) {
-	l := NewList(byKey)
+	l := NewList(SlotPrimary, byKey)
 	for _, it := range newItems(3, 1, 2) {
 		l.Insert(it)
 	}
@@ -207,7 +211,7 @@ func TestListEachAndFirstN(t *testing.T) {
 // machinery).
 func TestListRandomOps(t *testing.T) {
 	r := xrand.New(99)
-	l := NewList(byKey)
+	l := NewList(SlotPrimary, byKey)
 	var pool []*item
 	id := 0
 	for step := 0; step < 5000; step++ {
@@ -243,7 +247,7 @@ func TestListRandomOps(t *testing.T) {
 }
 
 func TestHeapBasics(t *testing.T) {
-	h := NewHeap(byKey)
+	h := NewHeap(SlotPrimary, byKey)
 	items := newItems(5, 1, 4, 2, 3)
 	for _, it := range items {
 		h.Push(it)
@@ -271,7 +275,7 @@ func TestHeapBasics(t *testing.T) {
 }
 
 func TestHeapEmptyMin(t *testing.T) {
-	h := NewHeap(byKey)
+	h := NewHeap(SlotPrimary, byKey)
 	if _, ok := h.Min(); ok {
 		t.Fatal("empty heap has a min")
 	}
@@ -281,7 +285,7 @@ func TestHeapEmptyMin(t *testing.T) {
 }
 
 func TestHeapDuplicatePanics(t *testing.T) {
-	h := NewHeap(byKey)
+	h := NewHeap(SlotPrimary, byKey)
 	it := &item{id: 1}
 	h.Push(it)
 	defer func() {
@@ -296,7 +300,7 @@ func TestHeapDuplicatePanics(t *testing.T) {
 func TestHeapMatchesSort(t *testing.T) {
 	r := xrand.New(123)
 	for trial := 0; trial < 50; trial++ {
-		h := NewHeap(byKey)
+		h := NewHeap(SlotPrimary, byKey)
 		n := 1 + r.Intn(100)
 		keys := make([]float64, n)
 		for i := range keys {
@@ -317,7 +321,7 @@ func TestHeapMatchesSort(t *testing.T) {
 // TestHeapRandomOps mirrors the list property test for the heap backing.
 func TestHeapRandomOps(t *testing.T) {
 	r := xrand.New(321)
-	h := NewHeap(byKey)
+	h := NewHeap(SlotPrimary, byKey)
 	var pool []*item
 	id := 0
 	for step := 0; step < 5000; step++ {
@@ -358,7 +362,7 @@ func TestListSortedAfterArbitraryInserts(t *testing.T) {
 	// testing/quick property: any insertion order yields a sorted list
 	// with all elements present.
 	f := func(keys []float64) bool {
-		l := NewList(byKey)
+		l := NewList(SlotPrimary, byKey)
 		for i, k := range keys {
 			l.Insert(&item{id: i, key: k})
 		}
@@ -383,7 +387,7 @@ func TestHeapMinIsGlobalMin(t *testing.T) {
 		if len(keys) == 0 {
 			return true
 		}
-		h := NewHeap(byKey)
+		h := NewHeap(SlotPrimary, byKey)
 		best := &item{id: 0, key: keys[0]}
 		h.Push(best)
 		for i := 1; i < len(keys); i++ {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"sfsched/internal/fixedpoint"
+	"sfsched/internal/runqueue"
 	"sfsched/internal/simtime"
 )
 
@@ -87,10 +88,13 @@ type Thread struct {
 	Surplus float64
 
 	// Fixed-point shadows of the tags, used by the kernel-faithful
-	// fixed-point SFS variant.
+	// fixed-point SFS variant. FxPhi caches the scaled conversion of Phi so
+	// the charge path does not re-convert φ on every quantum; the scheduler
+	// refreshes it whenever Phi changes.
 	FxStart   fixedpoint.Value
 	FxFinish  fixedpoint.Value
 	FxSurplus fixedpoint.Value
+	FxPhi     fixedpoint.Value
 
 	// Time-sharing fields (Linux 2.2): remaining timeslice in ticks and
 	// static priority.
@@ -108,6 +112,16 @@ type Thread struct {
 	// Decisions counts how many times this thread was picked; useful for
 	// tests and overhead accounting.
 	Decisions int64
+
+	// rq holds the intrusive run-queue handles, one per runqueue.Slot, the
+	// task_struct-style embedding that lets the queues skip hash lookups.
+	rq [runqueue.NumSlots]runqueue.Handle[*Thread]
+}
+
+// RunqueueHandle implements runqueue.Indexed: the thread's intrusive handle
+// for the given queue slot.
+func (t *Thread) RunqueueHandle(s runqueue.Slot) *runqueue.Handle[*Thread] {
+	return &t.rq[s]
 }
 
 // Running reports whether the thread currently occupies a CPU.

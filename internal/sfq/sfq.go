@@ -80,7 +80,7 @@ func New(p int, opts ...Option) *SFQ {
 	// equal-tagged crowd of weight-1 threads, the behaviour Example 2
 	// describes ("gets to run continuously on a processor until it
 	// departs").
-	s.byStart = runqueue.NewList(func(a, b *sched.Thread) bool {
+	s.byStart = runqueue.NewList(runqueue.SlotPrimary, func(a, b *sched.Thread) bool {
 		if a.Start != b.Start {
 			return a.Start < b.Start
 		}

@@ -63,7 +63,7 @@ func New(p int, opts ...Option) *Stride {
 		quantum: c.quantum,
 		weights: phi.NewTracker(p, c.readjust),
 	}
-	s.byPass = runqueue.NewList(func(a, b *sched.Thread) bool {
+	s.byPass = runqueue.NewList(runqueue.SlotPrimary, func(a, b *sched.Thread) bool {
 		if a.Pass != b.Pass {
 			return a.Pass < b.Pass
 		}

@@ -1,0 +1,75 @@
+// Build-and-run smoke tests for every binary in the repository: the five
+// example programs and cmd/paperbench. Each runs end-to-end (tiny iteration
+// counts where the binary accepts them) so CI exercises the full wiring —
+// facade, machine, workloads, experiments, CSV output — not just the library
+// packages.
+package sfsched_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runBinary executes `go run ./<pkg> args...` from the repository root and
+// returns its combined output.
+func runBinary(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./" + pkg}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./%s %v: %v\n%s", pkg, args, err, out)
+	}
+	return string(out)
+}
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests skipped in -short mode")
+	}
+	cases := []struct {
+		pkg  string
+		want string // substring the output must contain
+	}{
+		{"examples/quickstart", "task2"},
+		{"examples/hierarchy", "class"},
+		{"examples/latency", "ms"},
+		{"examples/videoserver", "mpeg"},
+		{"examples/webhosting", "gold"},
+	}
+	for _, c := range cases {
+		t.Run(filepath.Base(c.pkg), func(t *testing.T) {
+			t.Parallel()
+			out := runBinary(t, c.pkg)
+			if !strings.Contains(strings.ToLower(out), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}
+
+func TestPaperbenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests skipped in -short mode")
+	}
+	// One timeline experiment end-to-end, with CSV output.
+	dir := t.TempDir()
+	out := runBinary(t, "cmd/paperbench", "-run", "fig1", "-csv", dir)
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatalf("fig1 output missing header:\n%s", out)
+	}
+	// The overhead table with a tiny iteration budget.
+	out = runBinary(t, "cmd/paperbench", "-run", "table1", "-iters", "500")
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("table1 output missing header:\n%s", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("-csv wrote no files")
+	}
+}
