@@ -151,6 +151,53 @@ func TestDifferentialVsGMS(t *testing.T) {
 	}
 }
 
+// TestFacadeRuntime drives the wall-clock runtime through the public facade
+// with a fake clock: two tenants at 3:1 on one worker, fixed 1 ms slices,
+// must split charged time 3:1.
+func TestFacadeRuntime(t *testing.T) {
+	clock := sfsched.NewFakeClock()
+	r := sfsched.NewRuntime(sfsched.RuntimeConfig{
+		Workers: 1,
+		Quantum: 10 * sfsched.Millisecond,
+		Clock:   clock,
+		Manual:  true,
+	})
+	defer r.Close()
+	weights := []float64{3, 1}
+	tenants := make([]*sfsched.Tenant, len(weights))
+	for i, w := range weights {
+		tn, err := r.Register(fmt.Sprintf("t%d", i), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenants[i] = tn
+		for j := 0; j < 2; j++ {
+			if err := tn.Submit(sfsched.RunOnce(func() {})); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		d := r.Dispatch(0)
+		if d == nil {
+			t.Fatal("no dispatchable tenant")
+		}
+		clock.Advance(sfsched.Millisecond)
+		d.Complete(true)
+		if err := d.Tenant().Submit(sfsched.RunOnce(func() {})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := r.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d tenants", len(stats))
+	}
+	ratio := float64(stats[0].Service) / float64(stats[1].Service)
+	if math.Abs(ratio-3) > 0.05 {
+		t.Fatalf("service ratio %.3f, want ~3", ratio)
+	}
+}
+
 // hooksFor adapts a GMS fluid to machine hooks (what experiments.AttachGMS
 // does internally; spelled out here against the public API).
 func hooksFor(f *sfsched.GMS) sfsched.Hooks {

@@ -113,11 +113,15 @@ type SFS struct {
 	updatePeriod int64
 	sinceUpdate  int64
 
-	// Fixed-point mode (§3.2): tags computed in scaled integers.
+	// Fixed-point mode (§3.2): tags computed in scaled integers. fxShift
+	// accumulates the total wraparound-rebase shift; threads carry the
+	// shift already applied to their tags (Thread.FxShift), so a thread
+	// that blocked before a rebase is moved into the current frame on Add.
 	fixed        bool
 	scale        fixedpoint.Scale
 	fxV          fixedpoint.Value
 	fxLastFinish fixedpoint.Value
+	fxShift      fixedpoint.Value
 	rebaseThresh fixedpoint.Value
 	fxSlack      float64 // truncation allowance for the pick-scan bound
 
@@ -281,6 +285,14 @@ func (s *SFS) Add(t *sched.Thread, now simtime.Time) error {
 		return fmt.Errorf("%w: %v", sched.ErrAlreadyManaged, t)
 	}
 	if s.fixed {
+		// The thread's finish tag may predate rebases that happened while
+		// it slept; bring it into the current tag frame first so that the
+		// max(F_i, v) wakeup rule compares like with like.
+		if delta := s.fxShift - t.FxShift; delta != 0 {
+			t.FxFinish -= delta
+			t.Finish = s.scale.Float(t.FxFinish)
+			t.FxShift = s.fxShift
+		}
 		if t.FxFinish > s.fxV {
 			t.FxStart = t.FxFinish
 		} else {
@@ -337,6 +349,13 @@ func (s *SFS) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
 		t.Start = s.scale.Float(t.FxStart)
 		t.Finish = s.scale.Float(t.FxFinish)
 		s.lastFinish = t.Finish
+		// Restore t's heap position before a possible rebase: rebaseTags
+		// reads the minimum start tag off the heap head, and t — whose tag
+		// just grew past the threshold — is the entry most likely to be
+		// stale there.
+		if s.byStart.Contains(t) {
+			s.byStart.Fix(t)
+		}
 		if fixedpoint.NeedsRebase(t.FxFinish) || t.FxFinish > s.rebaseThresh {
 			s.rebaseTags()
 		}
@@ -344,9 +363,9 @@ func (s *SFS) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
 		t.Finish = t.Start + ran.Seconds()/t.Phi
 		t.Start = t.Finish
 		s.lastFinish = t.Finish
-	}
-	if s.byStart.Contains(t) {
-		s.byStart.Fix(t)
+		if s.byStart.Contains(t) {
+			s.byStart.Fix(t)
+		}
 	}
 	vChanged := s.recomputeV()
 	if s.k > 0 {
@@ -833,21 +852,20 @@ func (s *SFS) refreshSurpluses() {
 // time, the paper's wraparound handling (§3.2). Differences between tags —
 // the only inputs to scheduling decisions — are preserved, and since the
 // vRef epoch shifts along with them, stored surpluses remain exact without a
-// refresh.
+// refresh. The shift is accumulated in fxShift and stamped on each runnable
+// thread; threads asleep during the rebase are caught up on their next Add.
 func (s *SFS) rebaseTags() {
-	head, ok := s.byStart.Min()
-	if !ok {
-		s.fxLastFinish = 0
-		s.fxV = 0
-		s.lastFinish = 0
-		s.v = 0
-		s.fxVRef = 0
-		s.vRef = 0
-		return
+	var base fixedpoint.Value
+	if head, ok := s.byStart.Min(); ok {
+		base = head.FxStart
+	} else {
+		// No runnable threads: the frame collapses to v = lastFinish = 0.
+		base = s.fxLastFinish
 	}
-	base := head.FxStart
+	s.fxShift += base
 	s.byStart.Each(func(t *sched.Thread) bool {
 		fixedpoint.Rebase(base, &t.FxStart, &t.FxFinish)
+		t.FxShift = s.fxShift
 		t.Start = s.scale.Float(t.FxStart)
 		t.Finish = s.scale.Float(t.FxFinish)
 		return true

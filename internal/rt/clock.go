@@ -1,0 +1,77 @@
+// Clock abstraction for the runtime: dispatch decisions charge elapsed time
+// read from a Clock, so the same scheduling pipeline runs against the real
+// monotonic clock in production and against a hand-advanced fake clock in the
+// deterministic differential tests (golden_test.go) that pin the runtime's
+// decisions to the simulated machine's.
+
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sfsched/internal/simtime"
+)
+
+// Clock supplies the runtime's notion of current time, at the simulator's
+// microsecond resolution. Implementations must be safe for concurrent use and
+// monotonic: Now never decreases.
+type Clock interface {
+	Now() simtime.Time
+}
+
+// wallClock reads the process monotonic clock, reported as microseconds since
+// the runtime started. time.Since uses Go's monotonic reading, so wall-clock
+// steps (NTP, suspend) do not move it backwards.
+type wallClock struct {
+	base time.Time
+}
+
+// NewWallClock returns a monotonic wall clock starting at 0.
+func NewWallClock() Clock {
+	return &wallClock{base: time.Now()}
+}
+
+func (c *wallClock) Now() simtime.Time {
+	return simtime.Time(time.Since(c.base) / time.Microsecond)
+}
+
+// FakeClock is a manually advanced Clock for deterministic tests: the test
+// harness plays the role of time, setting the instant each modelled quantum
+// ends before completing it.
+type FakeClock struct {
+	mu  sync.Mutex
+	now simtime.Time
+}
+
+// NewFakeClock returns a fake clock at time 0.
+func NewFakeClock() *FakeClock { return &FakeClock{} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() simtime.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Set moves the clock to t. It panics if t is earlier than the current time;
+// Clock implementations must be monotonic.
+func (c *FakeClock) Set(t simtime.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t < c.now {
+		panic(fmt.Sprintf("rt: fake clock moved backwards (%v -> %v)", c.now, t))
+	}
+	c.now = t
+}
+
+// Advance moves the clock forward by d (d must be non-negative).
+func (c *FakeClock) Advance(d simtime.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		panic(fmt.Sprintf("rt: fake clock moved backwards (advance %v)", d))
+	}
+	c.now = c.now.Add(d)
+}

@@ -1,0 +1,652 @@
+// Package rt is sfsrt, the concurrent wall-clock SFS runtime: the first step
+// from reproducing the paper inside a deterministic simulation
+// (internal/machine) to a system that arbitrates real load.
+//
+// A Runtime owns a pool of worker goroutines, one per scheduled CPU, that
+// execute real submitted tasks (closures, request handlers). Every dispatch
+// decision is made by a sched.Scheduler — internal/core's SFS by default,
+// internal/hier for two-level tenant→class scheduling — under one central
+// lock, exactly as the paper's kernel serializes scheduling under the run
+// queue lock (§3.1). Where the simulated machine charges scripted quantum
+// lengths, the runtime charges the *measured* monotonic-clock runtime of each
+// task slice, read from a pluggable Clock.
+//
+// # Tenant model
+//
+// A tenant is one scheduler-visible thread: a weight, a pair of virtual-time
+// tags, and a FIFO backlog of tasks. Tasks of one tenant run serially (a
+// tenant occupies at most one worker at a time), which is the paper's
+// feasibility constraint — a thread can use at most one CPU — surfacing as an
+// API guarantee. A tenant with an empty backlog leaves the runnable set
+// (blocks); the first Submit re-adds it with the §2.3 wakeup rule
+// S_i = max(F_i, v), so sleeping tenants bank no credit. Backlogs are
+// bounded: Submit blocks when the queue is full (backpressure), TrySubmit
+// fails fast with ErrBackpressure.
+//
+// # Cooperative quanta
+//
+// Go cannot preempt a running closure, so quanta are cooperative: a Task is
+// granted a timeslice hint (the scheduler's quantum) and reports whether it
+// finished. Unfinished tasks remain at the head of their tenant's backlog and
+// continue on the next dispatch — the analogue of a burst spanning several
+// quanta in the simulation. Tasks that overrun the hint are simply charged
+// for what they actually used; SFS is built for variable-length quanta
+// (§2.3), so fairness is preserved, only dispatch latency degrades.
+//
+// # Determinism hook
+//
+// Config.Manual suppresses the worker pool; Dispatch and Dispatched.Complete
+// — the exact code path the workers use — are then driven externally. The
+// differential test in golden_test.go uses this to replay a simulated
+// machine's event order against a FakeClock and assert the runtime makes
+// bit-identical scheduling decisions. See DESIGN.md §5 for the full design
+// and the divergences from the simulated machine.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sfsched/internal/core"
+	"sfsched/internal/metrics"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+// Errors returned by the tenant API.
+var (
+	// ErrRuntimeClosed reports an operation on a closed runtime.
+	ErrRuntimeClosed = errors.New("rt: runtime closed")
+	// ErrTenantClosed reports an operation on an unregistered tenant.
+	ErrTenantClosed = errors.New("rt: tenant unregistered")
+	// ErrBackpressure reports a TrySubmit against a full tenant backlog.
+	ErrBackpressure = errors.New("rt: tenant backlog full")
+	// ErrForeignTenant reports a tenant handed to a runtime that does not
+	// own it.
+	ErrForeignTenant = errors.New("rt: tenant belongs to a different runtime")
+)
+
+// Task is one unit of tenant work. The runtime grants it a timeslice hint
+// (the scheduler's quantum for the tenant) and the task reports whether it
+// finished: an unfinished task stays at the head of its tenant's backlog and
+// continues on a later dispatch, possibly on a different worker. The task is
+// charged for the clock time that elapses while it runs, whatever the hint.
+type Task func(slice simtime.Duration) (done bool)
+
+// Once adapts a plain closure to a Task that completes in a single dispatch.
+func Once(fn func()) Task {
+	return func(simtime.Duration) bool {
+		fn()
+		return true
+	}
+}
+
+// Config assembles a Runtime.
+type Config struct {
+	// Workers is the worker pool size — the number of "CPUs" the scheduler
+	// arbitrates. Required.
+	Workers int
+	// Scheduler makes the dispatch decisions. Defaults to an exact-mode
+	// internal/core SFS for Workers processors. A non-nil scheduler must be
+	// configured for exactly Workers CPUs. For two-level scheduling pass an
+	// internal/hier instance and assign tenant threads (Tenant.Thread) to
+	// classes before their first Submit.
+	Scheduler sched.Scheduler
+	// Quantum overrides the default scheduler's maximum quantum (ignored
+	// when Scheduler is non-nil; 0 keeps the paper's 200 ms default).
+	Quantum simtime.Duration
+	// Clock supplies time for charging. Defaults to the monotonic wall
+	// clock; tests inject a FakeClock.
+	Clock Clock
+	// QueueCap bounds each tenant's backlog (backpressure). Default 256.
+	QueueCap int
+	// Manual suppresses the worker pool; the caller drives Dispatch and
+	// Dispatched.Complete directly (deterministic tests).
+	Manual bool
+}
+
+// Tenant is a registered principal: one scheduler thread plus a bounded FIFO
+// backlog of tasks. All methods are safe for concurrent use.
+type Tenant struct {
+	r  *Runtime
+	th *sched.Thread
+
+	// Ring buffer of pending tasks; buf[head] is the in-progress task while
+	// the tenant is running.
+	buf  []Task
+	head int
+	n    int
+
+	inSched bool // thread currently in the scheduler's runnable set
+	closing bool // Unregister called; drains in-flight work, drops backlog
+	gone    bool // fully unregistered
+
+	notFull *sync.Cond // Submit waits here under backpressure
+}
+
+// Runtime is the concurrent wall-clock scheduling runtime. All exported
+// methods are safe for concurrent use; a single mutex serializes scheduler
+// access, playing the kernel run-queue lock.
+type Runtime struct {
+	mu    sync.Mutex
+	sch   sched.Scheduler
+	clock Clock
+	qcap  int
+
+	tenants  []*Tenant
+	byThread map[*sched.Thread]*Tenant
+	nextID   int
+
+	running int // dispatched tasks currently in flight
+	queued  int // queued tasks across all tenants, including continuations
+
+	closed     bool
+	workCond   *sync.Cond // workers wait for dispatchable work
+	quietCond  *sync.Cond // Drain waits for queued == 0 && running == 0
+	wg         sync.WaitGroup
+	taskPanics int64
+}
+
+// New builds a runtime from cfg and, unless cfg.Manual is set, starts its
+// worker pool. It panics on inconsistent static configuration (non-positive
+// worker count, scheduler CPU mismatch); these are programmer errors.
+func New(cfg Config) *Runtime {
+	if cfg.Workers < 1 {
+		panic(fmt.Sprintf("rt: invalid worker count %d", cfg.Workers))
+	}
+	sch := cfg.Scheduler
+	if sch == nil {
+		q := cfg.Quantum
+		if q <= 0 {
+			q = core.DefaultQuantum
+		}
+		sch = core.New(cfg.Workers, core.WithQuantum(q))
+	}
+	if sch.NumCPU() != cfg.Workers {
+		panic(fmt.Sprintf("rt: %d workers but scheduler configured for %d CPUs",
+			cfg.Workers, sch.NumCPU()))
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = NewWallClock()
+	}
+	qcap := cfg.QueueCap
+	if qcap <= 0 {
+		qcap = 256
+	}
+	r := &Runtime{
+		sch:      sch,
+		clock:    clock,
+		qcap:     qcap,
+		byThread: make(map[*sched.Thread]*Tenant),
+	}
+	r.workCond = sync.NewCond(&r.mu)
+	r.quietCond = sync.NewCond(&r.mu)
+	if !cfg.Manual {
+		for i := 0; i < cfg.Workers; i++ {
+			r.wg.Add(1)
+			go r.worker(i)
+		}
+	}
+	return r
+}
+
+// Workers returns the worker pool size.
+func (r *Runtime) Workers() int { return r.sch.NumCPU() }
+
+// Register creates a tenant with the given display name and weight. The
+// tenant joins the scheduler's runnable set on its first Submit.
+func (r *Runtime) Register(name string, weight float64) (*Tenant, error) {
+	if !sched.ValidWeight(weight) {
+		return nil, fmt.Errorf("%w: %g", sched.ErrBadWeight, weight)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrRuntimeClosed
+	}
+	r.nextID++
+	th := &sched.Thread{
+		ID:      r.nextID,
+		Name:    name,
+		Weight:  weight,
+		Phi:     weight,
+		CPU:     sched.NoCPU,
+		LastCPU: sched.NoCPU,
+	}
+	tn := &Tenant{r: r, th: th, buf: make([]Task, r.qcap)}
+	tn.notFull = sync.NewCond(&r.mu)
+	r.tenants = append(r.tenants, tn)
+	r.byThread[th] = tn
+	return tn, nil
+}
+
+// Unregister removes a tenant. Pending backlog tasks are dropped; an
+// in-flight task runs to the end of its current slice and is charged, after
+// which the tenant leaves the scheduler. Unregister does not wait for the
+// in-flight task. Submitting to an unregistered tenant fails with
+// ErrTenantClosed.
+func (r *Runtime) Unregister(tn *Tenant) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tn.r != r {
+		return ErrForeignTenant
+	}
+	if tn.closing || tn.gone {
+		return ErrTenantClosed
+	}
+	tn.closing = true
+	tn.notFull.Broadcast()
+	if tn.th.Running() {
+		return nil // completeLocked finalizes after the in-flight slice
+	}
+	r.dropBacklogLocked(tn)
+	if tn.inSched {
+		tn.th.State = sched.Exited
+		mustSched(r.sch.Remove(tn.th, r.clock.Now()))
+		tn.inSched = false
+	}
+	r.finalizeLocked(tn)
+	r.signalQuietLocked()
+	return nil
+}
+
+// SetWeight changes a tenant's weight on the fly, like the paper's setweight
+// system call; the scheduler readjusts instantaneous weights immediately.
+func (r *Runtime) SetWeight(tn *Tenant, w float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tn.r != r {
+		return ErrForeignTenant
+	}
+	if r.closed {
+		return ErrRuntimeClosed
+	}
+	if tn.closing || tn.gone {
+		return ErrTenantClosed
+	}
+	return r.sch.SetWeight(tn.th, w, r.clock.Now())
+}
+
+// Thread returns the tenant's scheduler-visible thread control block, for
+// wiring that must happen before the tenant's first Submit (e.g. assigning
+// the thread to an internal/hier class). The runtime owns the thread
+// afterwards; callers must not mutate it while the tenant is active.
+func (tn *Tenant) Thread() *sched.Thread { return tn.th }
+
+// Name returns the tenant's display name.
+func (tn *Tenant) Name() string { return tn.th.Name }
+
+// Submit appends a task to the tenant's backlog, blocking while the backlog
+// is full. It fails with ErrTenantClosed after Unregister and
+// ErrRuntimeClosed after Close.
+func (tn *Tenant) Submit(task Task) error {
+	if task == nil {
+		panic("rt: nil task")
+	}
+	r := tn.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for tn.n == len(tn.buf) && !tn.closing && !r.closed {
+		tn.notFull.Wait()
+	}
+	return tn.submitLocked(task)
+}
+
+// TrySubmit is Submit without blocking: a full backlog fails with
+// ErrBackpressure.
+func (tn *Tenant) TrySubmit(task Task) error {
+	if task == nil {
+		panic("rt: nil task")
+	}
+	r := tn.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tn.n == len(tn.buf) && !tn.closing && !r.closed {
+		return ErrBackpressure
+	}
+	return tn.submitLocked(task)
+}
+
+func (tn *Tenant) submitLocked(task Task) error {
+	r := tn.r
+	if r.closed {
+		return ErrRuntimeClosed
+	}
+	if tn.closing || tn.gone {
+		return ErrTenantClosed
+	}
+	tn.buf[(tn.head+tn.n)%len(tn.buf)] = task
+	tn.n++
+	r.queued++
+	if !tn.inSched {
+		// Wakeup: S_i = max(F_i, v) via the scheduler's Add rule.
+		tn.th.State = sched.Runnable
+		mustSched(r.sch.Add(tn.th, r.clock.Now()))
+		tn.inSched = true
+	}
+	r.workCond.Signal()
+	return nil
+}
+
+// Queued returns the tenant's backlog length, counting an unfinished
+// in-flight task.
+func (tn *Tenant) Queued() int {
+	tn.r.mu.Lock()
+	defer tn.r.mu.Unlock()
+	return tn.n
+}
+
+// Dispatched is an in-flight slice: a tenant's head task granted to a worker.
+type Dispatched struct {
+	r        *Runtime
+	tn       *Tenant
+	worker   int
+	start    simtime.Time
+	slice    simtime.Duration
+	task     Task
+	finished bool
+}
+
+// Tenant returns the tenant whose task was dispatched.
+func (d *Dispatched) Tenant() *Tenant { return d.tn }
+
+// Slice returns the granted timeslice hint.
+func (d *Dispatched) Slice() simtime.Duration { return d.slice }
+
+// Worker returns the worker index the slice was dispatched to.
+func (d *Dispatched) Worker() int { return d.worker }
+
+// Dispatch asks the scheduler for the next tenant to run on worker and marks
+// it running, or returns nil when no runnable non-running tenant exists. It
+// is exported for Manual mode; each worker index must have at most one
+// dispatch in flight (the worker pool guarantees this in concurrent mode).
+// Every Dispatch must be paired with exactly one Complete.
+func (r *Runtime) Dispatch(worker int) *Dispatched {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil // Close abandons the remaining backlog
+	}
+	return r.dispatchLocked(worker)
+}
+
+func (r *Runtime) dispatchLocked(worker int) *Dispatched {
+	now := r.clock.Now()
+	th := r.sch.Pick(worker, now)
+	if th == nil {
+		return nil
+	}
+	tn := r.byThread[th]
+	if tn == nil || tn.n == 0 {
+		panic(fmt.Sprintf("rt: scheduler picked %v with no queued work", th))
+	}
+	th.CPU = worker
+	r.running++
+	return &Dispatched{
+		r:      r,
+		tn:     tn,
+		worker: worker,
+		start:  now,
+		slice:  r.sch.Timeslice(th, now),
+		task:   tn.buf[tn.head],
+	}
+}
+
+// Complete ends the slice: the tenant is charged for the clock time elapsed
+// since Dispatch, the head task is popped if done, and a tenant left with an
+// empty backlog blocks (leaves the runnable set). It returns the charged
+// duration. In concurrent mode the workers call it; in Manual mode the
+// driver does, passing the done value its workload model dictates.
+func (d *Dispatched) Complete(done bool) simtime.Duration {
+	r := d.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d.finished {
+		panic("rt: slice completed twice")
+	}
+	d.finished = true
+	now := r.clock.Now()
+	elapsed := now.Sub(d.start)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	tn := d.tn
+	th := tn.th
+	th.CPU = sched.NoCPU
+	th.LastCPU = d.worker
+	r.running--
+	r.sch.Charge(th, elapsed, now)
+	if done {
+		tn.pop()
+		r.queued--
+	}
+	if tn.closing {
+		r.dropBacklogLocked(tn)
+	}
+	if tn.n == 0 && tn.inSched {
+		if tn.closing {
+			th.State = sched.Exited
+		} else {
+			th.State = sched.Blocked
+		}
+		mustSched(r.sch.Remove(th, now))
+		tn.inSched = false
+		if tn.closing {
+			r.finalizeLocked(tn)
+		}
+	}
+	if done {
+		// A backlog slot was freed; one blocked submitter can proceed.
+		tn.notFull.Signal()
+	}
+	// At most one tenant (the charged one) became dispatchable; the
+	// completing worker re-enters its own dispatch loop without waiting, so
+	// a single waiting worker is the most that needs waking.
+	r.workCond.Signal()
+	r.signalQuietLocked()
+	return elapsed
+}
+
+// worker is the pool loop: wait for a dispatch, run the task outside the
+// lock, complete. A panicking task is recovered, charged, and dropped, so
+// one bad handler cannot wedge a worker.
+func (r *Runtime) worker(id int) {
+	defer r.wg.Done()
+	for {
+		d := r.awaitDispatch(id)
+		if d == nil {
+			return
+		}
+		done := r.runTask(d)
+		d.Complete(done)
+	}
+}
+
+func (r *Runtime) awaitDispatch(id int) *Dispatched {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return nil
+		}
+		if d := r.dispatchLocked(id); d != nil {
+			return d
+		}
+		r.workCond.Wait()
+	}
+}
+
+func (r *Runtime) runTask(d *Dispatched) (done bool) {
+	defer func() {
+		if e := recover(); e != nil {
+			r.mu.Lock()
+			r.taskPanics++
+			r.mu.Unlock()
+			done = true // drop the panicking task; the slice is still charged
+		}
+	}()
+	return d.task(d.slice)
+}
+
+// Drain blocks until every backlog is empty and no task is in flight (or the
+// runtime is closed). With tenants that perpetually resubmit, Drain only
+// returns once their submitters stop.
+func (r *Runtime) Drain() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for (r.queued > 0 || r.running > 0) && !r.closed {
+		r.quietCond.Wait()
+	}
+}
+
+// Close stops the worker pool and waits for in-flight tasks to finish. Tasks
+// still queued are abandoned; call Drain first for a graceful shutdown.
+// Close is idempotent.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.workCond.Broadcast()
+		r.quietCond.Broadcast()
+		for _, tn := range r.tenants {
+			tn.notFull.Broadcast()
+		}
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// TenantStat is a point-in-time view of one tenant, for metrics export.
+type TenantStat struct {
+	Name    string
+	Weight  float64
+	Service simtime.Duration // charged clock time
+	Share   float64          // fraction of all charged time
+	Queued  int
+	Running bool
+}
+
+// Stats returns per-tenant statistics in registration order, with shares
+// computed by internal/metrics over the charged service.
+func (r *Runtime) Stats() []TenantStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	services := make([]simtime.Duration, len(r.tenants))
+	for i, tn := range r.tenants {
+		services[i] = tn.th.Service
+	}
+	shares := metrics.SharesOf(services...)
+	out := make([]TenantStat, len(r.tenants))
+	for i, tn := range r.tenants {
+		out[i] = TenantStat{
+			Name:    tn.th.Name,
+			Weight:  tn.th.Weight,
+			Service: services[i],
+			Share:   shares[i],
+			Queued:  tn.n,
+			Running: tn.th.Running(),
+		}
+	}
+	return out
+}
+
+// JainIndex returns Jain's fairness index of per-weight normalized charged
+// service across the current tenants (1.0 = perfectly proportional), or 1
+// with no tenants.
+func (r *Runtime) JainIndex() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.tenants) == 0 {
+		return 1
+	}
+	services := make([]simtime.Duration, len(r.tenants))
+	weights := make([]float64, len(r.tenants))
+	for i, tn := range r.tenants {
+		services[i] = tn.th.Service
+		weights[i] = tn.th.Weight
+	}
+	return metrics.JainIndex(services, weights)
+}
+
+// TaskPanics returns how many submitted tasks panicked and were dropped.
+func (r *Runtime) TaskPanics() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.taskPanics
+}
+
+// CheckInvariants validates runtime-level bookkeeping and, when the
+// underlying scheduler supports it (internal/core), the scheduler's own
+// structural invariants. Stress tests call it concurrently with traffic.
+func (r *Runtime) CheckInvariants() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	queued, running := 0, 0
+	for _, tn := range r.tenants {
+		queued += tn.n
+		if tn.th.Running() {
+			running++
+		}
+		// A tenant is in the runnable set exactly while it has work; a
+		// running tenant always holds its head task until Complete.
+		if tn.inSched != (tn.n > 0) {
+			return fmt.Errorf("rt: tenant %s inSched=%v with %d queued",
+				tn.th, tn.inSched, tn.n)
+		}
+	}
+	if queued != r.queued {
+		return fmt.Errorf("rt: queued counter %d, tenants hold %d", r.queued, queued)
+	}
+	if running != r.running {
+		return fmt.Errorf("rt: running counter %d, threads show %d", r.running, running)
+	}
+	if c, ok := r.sch.(interface{ CheckInvariants() error }); ok {
+		if err := c.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tn *Tenant) pop() {
+	tn.buf[tn.head] = nil
+	tn.head = (tn.head + 1) % len(tn.buf)
+	tn.n--
+}
+
+// dropBacklogLocked discards a closing tenant's pending tasks, including an
+// unfinished continuation at the head.
+func (r *Runtime) dropBacklogLocked(tn *Tenant) {
+	for tn.n > 0 {
+		tn.pop()
+		r.queued--
+	}
+}
+
+func (r *Runtime) finalizeLocked(tn *Tenant) {
+	tn.gone = true
+	delete(r.byThread, tn.th)
+	for i, x := range r.tenants {
+		if x == tn {
+			r.tenants = append(r.tenants[:i], r.tenants[i+1:]...)
+			break
+		}
+	}
+}
+
+func (r *Runtime) signalQuietLocked() {
+	if r.queued == 0 && r.running == 0 {
+		r.quietCond.Broadcast()
+	}
+}
+
+// mustSched panics on scheduler errors that indicate runtime bookkeeping
+// bugs (double add, removing an unmanaged thread); user input cannot cause
+// them.
+func mustSched(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("rt: %v", err))
+	}
+}

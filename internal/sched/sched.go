@@ -90,11 +90,15 @@ type Thread struct {
 	// Fixed-point shadows of the tags, used by the kernel-faithful
 	// fixed-point SFS variant. FxPhi caches the scaled conversion of Phi so
 	// the charge path does not re-convert φ on every quantum; the scheduler
-	// refreshes it whenever Phi changes.
+	// refreshes it whenever Phi changes. FxShift records the cumulative
+	// wraparound-rebase shift already applied to this thread's tags, so a
+	// thread that slept across a rebase can be brought into the current tag
+	// frame on wakeup.
 	FxStart   fixedpoint.Value
 	FxFinish  fixedpoint.Value
 	FxSurplus fixedpoint.Value
 	FxPhi     fixedpoint.Value
+	FxShift   fixedpoint.Value
 
 	// Time-sharing fields (Linux 2.2): remaining timeslice in ticks and
 	// static priority.

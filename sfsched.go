@@ -29,6 +29,7 @@ import (
 	"sfsched/internal/hier"
 	"sfsched/internal/lottery"
 	"sfsched/internal/machine"
+	"sfsched/internal/rt"
 	"sfsched/internal/sched"
 	"sfsched/internal/sfq"
 	"sfsched/internal/simtime"
@@ -153,6 +154,35 @@ func NewHierarchical(p int, quantum Duration) *Hier { return hier.New(p, quantum
 
 // NewMachine builds a simulated SMP.
 func NewMachine(cfg MachineConfig) *Machine { return machine.New(cfg) }
+
+// Concurrent wall-clock runtime (sfsrt): worker goroutines execute real
+// submitted tasks with SFS arbitrating measured CPU time between weighted
+// tenants. See examples/fairserver and DESIGN.md §5.
+type (
+	// Runtime is the concurrent wall-clock scheduling runtime.
+	Runtime = rt.Runtime
+	// RuntimeConfig assembles a Runtime.
+	RuntimeConfig = rt.Config
+	// Tenant is a weighted principal submitting tasks to a Runtime.
+	Tenant = rt.Tenant
+	// RuntimeTask is one unit of tenant work with cooperative timeslicing.
+	RuntimeTask = rt.Task
+	// TenantStat is a point-in-time per-tenant metrics view.
+	TenantStat = rt.TenantStat
+	// RuntimeClock supplies the runtime's notion of time.
+	RuntimeClock = rt.Clock
+	// FakeClock is a manually advanced RuntimeClock for deterministic tests.
+	FakeClock = rt.FakeClock
+)
+
+// NewRuntime builds a wall-clock runtime and starts its worker pool.
+func NewRuntime(cfg RuntimeConfig) *Runtime { return rt.New(cfg) }
+
+// NewFakeClock returns a manually advanced clock at time 0.
+func NewFakeClock() *FakeClock { return rt.NewFakeClock() }
+
+// RunOnce adapts a plain closure to a RuntimeTask completing in one dispatch.
+func RunOnce(fn func()) RuntimeTask { return rt.Once(fn) }
 
 // NewGMS returns the idealized GMS fluid integrator for p processors.
 func NewGMS(p int) *GMS { return gms.New(p) }

@@ -31,18 +31,20 @@ func TestExamplesSmoke(t *testing.T) {
 	}
 	cases := []struct {
 		pkg  string
+		args []string
 		want string // substring the output must contain
 	}{
-		{"examples/quickstart", "task2"},
-		{"examples/hierarchy", "class"},
-		{"examples/latency", "ms"},
-		{"examples/videoserver", "mpeg"},
-		{"examples/webhosting", "gold"},
+		{"examples/quickstart", nil, "task2"},
+		{"examples/hierarchy", nil, "class"},
+		{"examples/latency", nil, "ms"},
+		{"examples/videoserver", nil, "mpeg"},
+		{"examples/webhosting", nil, "gold"},
+		{"examples/fairserver", []string{"-duration", "300ms"}, "jain"},
 	}
 	for _, c := range cases {
 		t.Run(filepath.Base(c.pkg), func(t *testing.T) {
 			t.Parallel()
-			out := runBinary(t, c.pkg)
+			out := runBinary(t, c.pkg, c.args...)
 			if !strings.Contains(strings.ToLower(out), c.want) {
 				t.Fatalf("output missing %q:\n%s", c.want, out)
 			}
