@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is one committed benchmark reference point, as stored in the
+// BENCH_*.json trajectory files' "benchmarks" arrays. Only name and
+// optimized_ns_op are required; the gate fields are optional.
+type Baseline struct {
+	Name string  `json:"name"`
+	NsOp float64 `json:"optimized_ns_op"`
+	// RegressThreshold overrides the command-line threshold for this entry
+	// (fractional slowdown allowed vs the committed number). Entries known
+	// to vary across machines — parallel contention benchmarks, large
+	// working-set churn — carry looser thresholds than microbenchmarks.
+	RegressThreshold float64 `json:"regress_threshold,omitempty"`
+	// MinSpeedupVs gates on a ratio *within the current run*: the
+	// benchmark named Ref must be at least Min times slower than this one.
+	// Ratios between benchmarks of the same run are machine-independent,
+	// so this encodes invariants like "sharded dispatch beats the central
+	// lock" without cross-machine noise.
+	MinSpeedupVs *SpeedupGate `json:"min_speedup_vs,omitempty"`
+}
+
+// SpeedupGate requires current[Ref] / current[this] ≥ Min.
+type SpeedupGate struct {
+	Ref string  `json:"ref"`
+	Min float64 `json:"min"`
+}
+
+// trajectoryFile is the committed BENCH_*.json shape (extra fields ignored).
+type trajectoryFile struct {
+	Benchmarks []Baseline `json:"benchmarks"`
+}
+
+// currentEntry is one cmd/benchjson output record (extra fields ignored).
+type currentEntry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// loadBaselines reads trajectory files in order; later files override
+// earlier ones per benchmark name (so BENCH_3.json re-baselines what it
+// re-measured while BENCH_1.json still covers the rest), preserving first
+// appearance order.
+func loadBaselines(paths []string) ([]Baseline, error) {
+	index := map[string]int{}
+	var out []Baseline
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var tf trajectoryFile
+		if err := json.Unmarshal(raw, &tf); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		for _, b := range tf.Benchmarks {
+			if b.Name == "" || b.NsOp <= 0 {
+				return nil, fmt.Errorf("%s: baseline entry %+v lacks name or optimized_ns_op", p, b)
+			}
+			if i, ok := index[b.Name]; ok {
+				out[i] = b
+			} else {
+				index[b.Name] = len(out)
+				out = append(out, b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// loadCurrent reads cmd/benchjson output into a name → ns/op map.
+func loadCurrent(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []currentEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		out[e.Name] = e.NsPerOp
+	}
+	return out, nil
+}
+
+// Finding is one gate violation.
+type Finding struct {
+	Name   string
+	Detail string
+}
+
+// Compare evaluates every baseline gate against the current run. It returns
+// one human-readable report line per baseline and the list of violations:
+// benchmarks missing from the run, per-op regressions beyond the (entry or
+// default) threshold, and broken within-run speedup invariants.
+func Compare(baselines []Baseline, cur map[string]float64, defThreshold float64) (report []string, failures []Finding) {
+	for _, b := range baselines {
+		c, ok := cur[b.Name]
+		if !ok || c <= 0 {
+			report = append(report, fmt.Sprintf("MISSING  %-50s baseline %.0f ns/op", b.Name, b.NsOp))
+			failures = append(failures, Finding{b.Name, "not present in current run"})
+			continue
+		}
+		thr := b.RegressThreshold
+		if thr == 0 {
+			thr = defThreshold
+		}
+		ratio := c / b.NsOp
+		status := "ok      "
+		if ratio > 1+thr {
+			status = "REGRESS "
+			failures = append(failures, Finding{b.Name,
+				fmt.Sprintf("%.0f ns/op vs baseline %.0f (%.2fx > allowed %.2fx)", c, b.NsOp, ratio, 1+thr)})
+		}
+		report = append(report, fmt.Sprintf("%s %-50s %8.0f ns/op  baseline %8.0f  (%.2fx, limit %.2fx)",
+			status, b.Name, c, b.NsOp, ratio, 1+thr))
+		if g := b.MinSpeedupVs; g != nil {
+			ref, ok := cur[g.Ref]
+			if !ok {
+				failures = append(failures, Finding{b.Name,
+					fmt.Sprintf("speedup reference %q not present in current run", g.Ref)})
+				continue
+			}
+			speedup := ref / c
+			status := "speedup "
+			if speedup < g.Min {
+				status = "SLOW    "
+				failures = append(failures, Finding{b.Name,
+					fmt.Sprintf("only %.2fx faster than %s, floor %.2fx", speedup, g.Ref, g.Min)})
+			}
+			report = append(report, fmt.Sprintf("%s %-50s %.2fx vs %s (floor %.2fx)",
+				status, b.Name, speedup, g.Ref, g.Min))
+		}
+	}
+	return report, failures
+}

@@ -1,0 +1,57 @@
+// Command benchcmp is the CI benchmark-regression gate: it compares the
+// current run's cmd/benchjson output against committed BENCH_*.json
+// trajectory baselines and exits non-zero when a gate fails.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Overhead|Dispatch' -benchmem . | go run ./cmd/benchjson > BENCH_ci.json
+//	go run ./cmd/benchcmp -current BENCH_ci.json -threshold 0.25 BENCH_1.json BENCH_3.json
+//
+// Baseline files are applied in order with later files overriding earlier
+// ones per benchmark name. Three gates are enforced: every baselined
+// benchmark must be present in the current run; no benchmark may regress
+// beyond its threshold (the -threshold default, or the entry's own
+// regress_threshold for benchmarks known to vary across machines); and
+// within-run speedup invariants (min_speedup_vs, e.g. "sharded dispatch
+// beats the central lock by ≥1.5x") must hold — those compare two numbers
+// from the same run, so they gate correctness-of-scaling independent of the
+// host's absolute speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	current := flag.String("current", "BENCH_ci.json", "cmd/benchjson output of the current run")
+	threshold := flag.Float64("threshold", 0.25, "default allowed fractional per-op regression")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no baseline files given")
+		os.Exit(2)
+	}
+	baselines, err := loadBaselines(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadCurrent(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	report, failures := Compare(baselines, cur, *threshold)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchcmp: %d gate failure(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", f.Name, f.Detail)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchcmp: %d benchmarks within limits\n", len(baselines))
+}

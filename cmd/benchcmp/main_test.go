@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadBaselinesLaterFileOverrides(t *testing.T) {
+	a := writeFile(t, "a.json", `{"benchmarks":[
+		{"name":"Foo/x","optimized_ns_op":100},
+		{"name":"Bar/y","optimized_ns_op":200}]}`)
+	b := writeFile(t, "b.json", `{"benchmarks":[
+		{"name":"Foo/x","optimized_ns_op":150,"regress_threshold":0.5}]}`)
+	bs, err := loadBaselines([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 {
+		t.Fatalf("got %d baselines, want 2", len(bs))
+	}
+	if bs[0].Name != "Foo/x" || bs[0].NsOp != 150 || bs[0].RegressThreshold != 0.5 {
+		t.Fatalf("override not applied: %+v", bs[0])
+	}
+	if bs[1].Name != "Bar/y" || bs[1].NsOp != 200 {
+		t.Fatalf("unrelated entry damaged: %+v", bs[1])
+	}
+}
+
+func TestLoadBaselinesRejectsMalformed(t *testing.T) {
+	p := writeFile(t, "bad.json", `{"benchmarks":[{"name":"","optimized_ns_op":1}]}`)
+	if _, err := loadBaselines([]string{p}); err == nil {
+		t.Fatal("nameless baseline accepted")
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	baselines := []Baseline{
+		{Name: "Fast", NsOp: 100},
+		{Name: "Noisy", NsOp: 100, RegressThreshold: 1.0},
+		{Name: "Gone", NsOp: 100},
+		{Name: "Sharded", NsOp: 50,
+			MinSpeedupVs: &SpeedupGate{Ref: "Fast", Min: 2.5}},
+	}
+	cur := map[string]float64{
+		"Fast":    130, // 1.3x > 1.25x default → regression
+		"Noisy":   180, // 1.8x < 2.0x entry threshold → ok
+		"Sharded": 55,  // 1.1x ok, but 130/55 = 2.36x < 2.5x floor → speedup failure
+	}
+	report, failures := Compare(baselines, cur, 0.25)
+	if len(report) == 0 {
+		t.Fatal("no report lines")
+	}
+	want := map[string]string{
+		"Fast":    "allowed",
+		"Gone":    "not present",
+		"Sharded": "floor",
+	}
+	if len(failures) != len(want) {
+		t.Fatalf("got %d failures %v, want %d", len(failures), failures, len(want))
+	}
+	for _, f := range failures {
+		frag, ok := want[f.Name]
+		if !ok {
+			t.Errorf("unexpected failure for %s: %s", f.Name, f.Detail)
+			continue
+		}
+		if !strings.Contains(f.Detail, frag) {
+			t.Errorf("failure %s detail %q lacks %q", f.Name, f.Detail, frag)
+		}
+	}
+}
+
+func TestCompareAllGreen(t *testing.T) {
+	baselines := []Baseline{
+		{Name: "A", NsOp: 100},
+		{Name: "B", NsOp: 50, MinSpeedupVs: &SpeedupGate{Ref: "A", Min: 1.5}},
+	}
+	cur := map[string]float64{"A": 110, "B": 55}
+	_, failures := Compare(baselines, cur, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestLoadCurrentBenchjsonShape(t *testing.T) {
+	p := writeFile(t, "cur.json", `[
+		{"name":"Foo/x","iterations":1000,"ns_per_op":123.4,"allocs_per_op":0},
+		{"name":"Bar/y","iterations":10,"ns_per_op":9.9}]`)
+	cur, err := loadCurrent(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur["Foo/x"] != 123.4 || cur["Bar/y"] != 9.9 {
+		t.Fatalf("parsed %v", cur)
+	}
+}

@@ -1,0 +1,90 @@
+// Contention benchmarks for the runtime's dispatch path: many submitter
+// goroutines flood a 16-worker pool with no-op tasks, so ns/op measures the
+// submit→dispatch→charge→complete pipeline under lock contention rather
+// than task execution. BenchmarkDispatchSharded/shards=1 is the central-lock
+// runtime (every scheduling event serialized through one mutex, the paper's
+// kernel model); shards=4 and shards=16 partition dispatch into per-CPU
+// runqueues. CI's benchmark-regression gate runs these alongside the
+// Overhead* scheduler microbenchmarks and compares against the committed
+// BENCH_*.json baselines with cmd/benchcmp.
+
+package sfsched_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"sfsched"
+)
+
+// benchmarkDispatch floods the runtime from 16 submitter goroutines feeding
+// 16384 tenants under tight backpressure (QueueCap 2, pre-filled), so the
+// whole tenant population stays runnable and every task pays the full
+// submit→wakeup→dispatch→charge→block pipeline on production-scale
+// runqueues: one 16384-thread queue behind the central lock versus
+// 16384/shards threads behind each shard lock. ns/op is per completed task.
+// GOMAXPROCS is raised to the worker count for the duration so the workers
+// and submitters contend like they would on a 16-CPU host (on smaller hosts
+// the OS timeslices the threads — the regime where a held central lock
+// stalls every peer).
+func benchmarkDispatch(b *testing.B, shards int) {
+	const (
+		workers    = 16
+		nTenants   = 16384
+		submitters = 16
+	)
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+	r := sfsched.NewRuntime(sfsched.RuntimeConfig{
+		Workers:        workers,
+		Shards:         shards,
+		Quantum:        sfsched.Millisecond,
+		QueueCap:       2,
+		RebalanceEvery: -1, // static uniform tenants; isolate dispatch cost
+	})
+	defer r.Close()
+	tenants := make([]*sfsched.Tenant, nTenants)
+	for i := range tenants {
+		tn, err := r.Register(fmt.Sprintf("bench-%d", i), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tenants[i] = tn
+	}
+	task := sfsched.RunOnce(func() {})
+	for _, tn := range tenants {
+		for tn.TrySubmit(task) == nil {
+		}
+	}
+	var next atomic.Int64
+	b.SetParallelism(1) // one submitter per P: 16 submitters vs 16 workers
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each submitter strides over its own 1/16th of the tenants,
+		// keeping backlogs full machine-wide.
+		base := int(next.Add(1))
+		for i := 0; pb.Next(); i++ {
+			tn := tenants[(base+i*submitters)%nTenants]
+			if err := tn.Submit(task); err != nil &&
+				!errors.Is(err, sfsched.ErrRuntimeClosed) {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	r.Drain()
+	b.StopTimer()
+}
+
+// BenchmarkDispatchSharded measures contended submit/dispatch throughput at
+// 1 (central lock), 4 and 16 dispatch shards on a 16-worker pool.
+func BenchmarkDispatchSharded(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d/workers=16", shards), func(b *testing.B) {
+			benchmarkDispatch(b, shards)
+		})
+	}
+}

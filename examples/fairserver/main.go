@@ -1,14 +1,18 @@
-// fairserver demonstrates sfsrt, the concurrent wall-clock runtime: N
-// weighted tenants flood a shared worker pool with real spinning tasks and
-// receive wall-clock CPU time in proportion to their weights — the paper's
+// fairserver demonstrates sfsrt, the concurrent wall-clock runtime: weighted
+// tenants flood a shared worker pool with real spinning tasks and receive
+// wall-clock CPU time in proportion to their weights — the paper's
 // guarantee, delivered by goroutines and a monotonic clock instead of a
-// simulated kernel.
+// simulated kernel. With more than one shard the pool dispatches from
+// per-CPU runqueues and the background rebalancer keeps each shard's
+// sub-share of the total weight proportional to its processor count.
 //
-//	go run ./examples/fairserver [-workers 2] [-duration 1s] [-cost 200µs]
+//	go run ./examples/fairserver [-workers N] [-shards N] [-per-tier 4] [-duration 1s] [-cost 200µs]
 //
-// Each tenant keeps itself backlogged by resubmitting from inside its own
-// tasks, so the pool stays capacity-limited and the weights — not the
-// submission pattern — decide the shares.
+// The worker pool defaults to GOMAXPROCS (all schedulable cores) and the
+// shard count to one shard per ~4 tenants, capped at the worker count. Each
+// tenant keeps itself backlogged by resubmitting from inside its own tasks,
+// so the pool stays capacity-limited and the weights — not the submission
+// pattern — decide the shares.
 package main
 
 import (
@@ -29,27 +33,19 @@ func spin(d time.Duration) {
 }
 
 func main() {
-	workers := flag.Int("workers", 0, "worker pool size (0 = min(2, GOMAXPROCS))")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "dispatch shards (0 = auto: ~1 per 4 tenants, capped at workers; 1 = central lock)")
+	perTier := flag.Int("per-tier", 4, "tenants per weight tier (4 tiers: platinum/gold/silver/bronze)")
 	duration := flag.Duration("duration", time.Second, "how long to serve load")
 	cost := flag.Duration("cost", 200*time.Microsecond, "CPU cost of one task")
 	flag.Parse()
 	if *workers <= 0 {
-		*workers = 2
-		if p := runtime.GOMAXPROCS(0); p < 2 {
-			// More spinning workers than schedulable cores only adds
-			// charge noise from OS descheduling.
-			*workers = p
-		}
+		*workers = runtime.GOMAXPROCS(0)
 	}
-
-	r := sfsched.NewRuntime(sfsched.RuntimeConfig{
-		Workers:  *workers,
-		Quantum:  10 * sfsched.Millisecond,
-		QueueCap: 8,
-	})
-	defer r.Close()
-
-	tenants := []struct {
+	if *perTier < 1 {
+		*perTier = 1
+	}
+	tiers := []struct {
 		name   string
 		weight float64
 	}{
@@ -58,38 +54,56 @@ func main() {
 		{"silver", 2},
 		{"bronze", 1},
 	}
+	nTenants := len(tiers) * *perTier
+	if *shards <= 0 {
+		*shards = nTenants / 4
+		if *shards > *workers {
+			*shards = *workers
+		}
+		if *shards < 1 {
+			*shards = 1
+		}
+	}
+
+	r := sfsched.NewRuntime(sfsched.RuntimeConfig{
+		Workers:  *workers,
+		Shards:   *shards,
+		Quantum:  10 * sfsched.Millisecond,
+		QueueCap: 8,
+	})
+	defer r.Close()
+
 	var totalWeight float64
-	for _, tc := range tenants {
-		totalWeight += tc.weight
-	}
-
 	var stop atomic.Bool
-	for _, tc := range tenants {
-		tn, err := r.Register(tc.name, tc.weight)
-		if err != nil {
-			panic(err)
-		}
-		var task sfsched.RuntimeTask
-		task = sfsched.RunOnce(func() {
-			spin(*cost)
-			if !stop.Load() {
-				_ = tn.TrySubmit(task) // best-effort refeed; backpressure is fine
+	for _, tier := range tiers {
+		for i := 0; i < *perTier; i++ {
+			totalWeight += tier.weight
+			tn, err := r.Register(fmt.Sprintf("%s-%d", tier.name, i), tier.weight)
+			if err != nil {
+				panic(err)
 			}
-		})
-		if err := tn.Submit(task); err != nil {
-			panic(err)
+			var task sfsched.RuntimeTask
+			task = sfsched.RunOnce(func() {
+				spin(*cost)
+				if !stop.Load() {
+					_ = tn.TrySubmit(task) // best-effort refeed; backpressure is fine
+				}
+			})
+			if err := tn.Submit(task); err != nil {
+				panic(err)
+			}
 		}
 	}
 
-	fmt.Printf("fairserver: %d workers, %d tenants, %v of load\n",
-		*workers, len(tenants), *duration)
+	fmt.Printf("fairserver: %d workers, %d shards, %d tenants, %v of load\n",
+		*workers, *shards, nTenants, *duration)
 	time.Sleep(*duration)
 	stop.Store(true)
 	r.Drain()
 
 	stats := r.Stats()
 	tbl := &metrics.Table{
-		Headers: []string{"tenant", "weight", "cpu_ms", "share", "ideal"},
+		Headers: []string{"tenant", "weight", "shard", "cpu_ms", "share", "ideal", "lag_ms"},
 	}
 	measured := make([]float64, len(stats))
 	ideal := make([]float64, len(stats))
@@ -98,11 +112,29 @@ func main() {
 		ideal[i] = s.Weight / totalWeight
 		tbl.AddRow(s.Name,
 			fmt.Sprintf("%g", s.Weight),
+			fmt.Sprintf("%d", s.Shard),
 			fmt.Sprintf("%.1f", s.Service.Milliseconds()),
 			fmt.Sprintf("%.3f", s.Share),
-			fmt.Sprintf("%.3f", ideal[i]))
+			fmt.Sprintf("%.3f", ideal[i]),
+			fmt.Sprintf("%+.1f", s.Lag.Milliseconds()))
 	}
 	fmt.Print(tbl.String())
-	fmt.Printf("jain index %.4f, worst share error %.1f%%\n",
-		r.JainIndex(), 100*metrics.RatioError(measured, ideal))
+
+	shardTbl := &metrics.Table{
+		Headers: []string{"shard", "workers", "tenants", "weight", "cpu_ms", "share", "ideal", "jain"},
+	}
+	for _, ss := range r.ShardStats() {
+		shardTbl.AddRow(
+			fmt.Sprintf("%d", ss.Shard),
+			fmt.Sprintf("%d", ss.Workers),
+			fmt.Sprintf("%d", ss.Tenants),
+			fmt.Sprintf("%.1f", ss.Weight),
+			fmt.Sprintf("%.1f", ss.Service.Milliseconds()),
+			fmt.Sprintf("%.3f", ss.Share),
+			fmt.Sprintf("%.3f", float64(ss.Workers)/float64(*workers)),
+			fmt.Sprintf("%.3f", ss.Jain))
+	}
+	fmt.Print(shardTbl.String())
+	fmt.Printf("jain index %.4f, worst share error %.1f%%, migrations %d\n",
+		r.JainIndex(), 100*metrics.RatioError(measured, ideal), r.Migrations())
 }

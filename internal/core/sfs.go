@@ -252,6 +252,35 @@ func (s *SFS) Runnable() int { return s.byStart.Len() }
 // tag over runnable threads).
 func (s *SFS) VirtualTime() float64 { return s.v }
 
+// Snapshot is an O(1) summary of the runnable set, exported for the sharded
+// runtime (internal/rt): enough to measure a shard's load and to anchor
+// per-thread fresh-surplus computations without walking any queue.
+type Snapshot struct {
+	// Runnable is the number of runnable threads (including running).
+	Runnable int
+	// WeightSum is Σ w_i over the runnable set (requested weights, the
+	// quantity the shard rebalancer equalizes per processor).
+	WeightSum float64
+	// VirtualTime is v, the minimum start tag over runnable threads.
+	VirtualTime float64
+}
+
+// Snapshot returns the current O(1) runnable-set summary.
+func (s *SFS) Snapshot() Snapshot {
+	return Snapshot{
+		Runnable:    s.byStart.Len(),
+		WeightSum:   s.weights.Sum(),
+		VirtualTime: s.v,
+	}
+}
+
+// FreshSurplus returns t's surplus α_i = φ_i·(S_i − v) against the current
+// virtual time, in the arithmetic (float or fixed) a full refresh would use.
+// The sharded runtime's rebalancer uses it to choose migration victims: a
+// thread with a large surplus is ahead of its ideal allocation, so the
+// wakeup-style tag re-entry a migration entails costs it the least.
+func (s *SFS) FreshSurplus(t *sched.Thread) float64 { return s.freshSurplus(t) }
+
 // Stats returns a snapshot of internal event counters.
 func (s *SFS) Stats() Stats {
 	st := s.stats

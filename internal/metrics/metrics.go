@@ -123,6 +123,32 @@ func RatioError(measured []float64, ideal []float64) float64 {
 	return worst
 }
 
+// Lags returns each entity's service lag behind the proportional-share
+// ideal, in seconds: lag_i = T·w_i/Σw − service_i where T is the total
+// delivered service. Positive means the entity is behind its entitlement,
+// negative that it is ahead; the lags always sum to zero. The sharded
+// runtime exports these per tenant and per shard to show how far the
+// partitioned dispatch drifts from the single-queue allocation.
+func Lags(services []simtime.Duration, weights []float64) []float64 {
+	if len(services) != len(weights) || len(services) == 0 {
+		panic("metrics: mismatched lag vectors")
+	}
+	var total simtime.Duration
+	var wsum float64
+	for i := range services {
+		total += services[i]
+		wsum += weights[i]
+	}
+	out := make([]float64, len(services))
+	if wsum == 0 {
+		return out
+	}
+	for i := range services {
+		out[i] = total.Seconds()*weights[i]/wsum - services[i].Seconds()
+	}
+	return out
+}
+
 // JainIndex computes Jain's fairness index of per-weight normalized service:
 // (Σ x_i)² / (n · Σ x_i²) where x_i = service_i / weight_i. 1.0 is perfectly
 // proportional.

@@ -84,6 +84,40 @@ func TestRatioError(t *testing.T) {
 	}()
 }
 
+func TestLags(t *testing.T) {
+	// 3s delivered over weights 1:2 → ideals 1s/2s; the 1-weight entity got
+	// 2s (1s ahead), the 2-weight entity 1s (1s behind). Lags sum to zero.
+	got := Lags(
+		[]simtime.Duration{2 * simtime.Second, simtime.Second},
+		[]float64{1, 2})
+	if math.Abs(got[0]+1) > 1e-9 || math.Abs(got[1]-1) > 1e-9 {
+		t.Fatalf("lags %v, want [-1 1]", got)
+	}
+	if sum := got[0] + got[1]; math.Abs(sum) > 1e-9 {
+		t.Fatalf("lags sum to %g, want 0", sum)
+	}
+	proportional := Lags(
+		[]simtime.Duration{simtime.Second, 3 * simtime.Second},
+		[]float64{1, 3})
+	for i, l := range proportional {
+		if math.Abs(l) > 1e-9 {
+			t.Fatalf("proportional delivery has lag %g at %d", l, i)
+		}
+	}
+	zero := Lags([]simtime.Duration{0, 0}, []float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("zero-weight set must give zero lags")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched lengths did not panic")
+			}
+		}()
+		Lags([]simtime.Duration{1}, []float64{1, 2})
+	}()
+}
+
 func TestJainIndex(t *testing.T) {
 	perfect := JainIndex(
 		[]simtime.Duration{simtime.Second, 2 * simtime.Second},

@@ -1,0 +1,312 @@
+// Shard rebalancing: with dispatch partitioned into per-CPU runqueues, each
+// shard delivers its processors' capacity to its own tenants in proportion to
+// their weights. Global fairness therefore reduces to one condition — every
+// shard's total weight stays proportional to its processor count. This file
+// enforces it: a pure planner (planRebalance, fuzzed by FuzzRebalance)
+// decides which tenants to move, and migrate carries a tenant across shards
+// with a wakeup-style virtual-time frame translation, so each move perturbs
+// the tenant's allocation by at most its current lead over v — one quantum's
+// worth. DESIGN.md §6 gives the full fairness argument.
+
+package rt
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"sfsched/internal/metrics"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+const (
+	// rebalanceTolerance is the planner's hysteresis: donor/receiver pairs
+	// whose transferable imbalance is below this fraction of a balanced
+	// shard's weight are left alone, so balanced systems do not churn.
+	rebalanceTolerance = 0.05
+	// maxRebalanceMoves bounds the work of one rebalance pass; imbalance
+	// that needs more moves is finished by subsequent passes.
+	maxRebalanceMoves = 8
+)
+
+// rebalanceMove moves the idx-th movable tenant of shard src to shard dst.
+type rebalanceMove struct {
+	src, dst, idx int
+}
+
+// planRebalance chooses migrations that bring each shard's total weight
+// toward target_s = Σweight · workers_s / Σworkers. It is a pure function of
+// its inputs: totals holds the per-shard weight sums (including unmovable
+// tenants), movable the weights of the individually movable tenants per
+// shard, ordered by descending migration preference (the caller sorts by
+// surplus). Each move strictly reduces the donor/receiver pair's distance to
+// target, so total imbalance never grows, per-shard sums stay non-negative
+// and total weight is conserved — the invariants FuzzRebalance checks.
+func planRebalance(totals []float64, workers []int, movable [][]float64, tol float64) []rebalanceMove {
+	n := len(totals)
+	if n < 2 {
+		return nil
+	}
+	totalWorkers := 0
+	totalWeight := 0.0
+	for i := range totals {
+		totalWorkers += workers[i]
+		totalWeight += totals[i]
+	}
+	if totalWorkers == 0 || totalWeight <= 0 {
+		return nil
+	}
+	target := make([]float64, n)
+	for i := range target {
+		target[i] = totalWeight * float64(workers[i]) / float64(totalWorkers)
+	}
+	cur := append([]float64(nil), totals...)
+	used := make([][]bool, n)
+	for i := range used {
+		used[i] = make([]bool, len(movable[i]))
+	}
+	var moves []rebalanceMove
+	for len(moves) < maxRebalanceMoves {
+		donor, recv := 0, 0
+		for i := range cur {
+			if cur[i]-target[i] > cur[donor]-target[donor] {
+				donor = i
+			}
+			if cur[i]-target[i] < cur[recv]-target[recv] {
+				recv = i
+			}
+		}
+		excess, deficit := cur[donor]-target[donor], target[recv]-cur[recv]
+		need := math.Min(excess, deficit)
+		if need <= tol*totalWeight/float64(n) {
+			break
+		}
+		// The best candidate leaves the donor/receiver pair closest to
+		// target. Candidates are pre-ordered by migration preference, so
+		// among equally-good fits the first (highest surplus) wins.
+		best, bestAfter := -1, excess+deficit
+		for j, w := range movable[donor] {
+			if used[donor][j] {
+				continue
+			}
+			after := math.Abs(excess-w) + math.Abs(deficit-w)
+			if after < bestAfter-1e-12 {
+				best, bestAfter = j, after
+			}
+		}
+		if best < 0 {
+			break // nothing movable improves the worst pair
+		}
+		used[donor][best] = true
+		w := movable[donor][best]
+		cur[donor] -= w
+		cur[recv] += w
+		moves = append(moves, rebalanceMove{src: donor, dst: recv, idx: best})
+	}
+	return moves
+}
+
+// Rebalance runs one rebalancing pass: snapshot shard loads, plan moves with
+// planRebalance, and migrate the chosen tenants. Only tenants that are not
+// mid-slice and have no blocked submitters are eligible; within a shard,
+// candidates are offered in descending fresh-surplus order (threads ahead of
+// their ideal allocation lose the least from the wakeup-style re-entry).
+// It returns the number of tenants migrated. Concurrent mode runs it
+// periodically (Config.RebalanceEvery); Manual mode calls it directly.
+func (r *Runtime) Rebalance() int {
+	if len(r.shards) < 2 || r.closed.Load() {
+		return 0
+	}
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	n := len(r.shards)
+	totals := make([]float64, n)
+	workers := make([]int, n)
+	movable := make([][]float64, n)
+	handles := make([][]*Tenant, n)
+	type candidate struct {
+		tn      *Tenant
+		surplus float64
+	}
+	for i, sh := range r.shards {
+		sh.mu.Lock()
+		workers[i] = sh.workers
+		totals[i] = sh.weight
+		var cands []candidate
+		for th, tn := range sh.byThread {
+			if tn.closing || tn.gone || th.Running() || tn.waiters > 0 {
+				continue
+			}
+			surplus := 0.0
+			if sh.sfs != nil && tn.inSched {
+				surplus = sh.sfs.FreshSurplus(th)
+			}
+			cands = append(cands, candidate{tn, surplus})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].surplus != cands[b].surplus {
+				return cands[a].surplus > cands[b].surplus
+			}
+			return cands[a].tn.th.ID < cands[b].tn.th.ID
+		})
+		for _, c := range cands {
+			movable[i] = append(movable[i], c.tn.th.Weight)
+			handles[i] = append(handles[i], c.tn)
+		}
+		sh.mu.Unlock()
+	}
+	moves := planRebalance(totals, workers, movable, rebalanceTolerance)
+	migrated := 0
+	for _, mv := range moves {
+		if r.migrate(handles[mv.src][mv.idx], r.shards[mv.src], r.shards[mv.dst]) {
+			migrated++
+		}
+	}
+	if migrated > 0 {
+		r.migrations.Add(int64(migrated))
+	}
+	return migrated
+}
+
+// migrate moves a tenant from src to dst, re-checking eligibility under both
+// shard locks (the snapshot the plan was made from is stale by now). The
+// tenant's finish tag is translated into the destination's virtual-time
+// frame preserving its lead over v, so the §2.3 wakeup rule re-admits it
+// with the same relative position it held on the source shard.
+func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
+	if src == dst {
+		return false
+	}
+	lo, hi := src, dst
+	if hi.id < lo.id {
+		lo, hi = hi, lo
+	}
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	hi.mu.Lock()
+	defer hi.mu.Unlock()
+	th := tn.th
+	if tn.sh.Load() != src || tn.closing || tn.gone || th.Running() || tn.waiters > 0 {
+		return false
+	}
+	now := r.clock.Now()
+	if tn.inSched {
+		th.State = sched.Blocked
+		mustSched(src.sch.Remove(th, now))
+	}
+	delete(src.byThread, th)
+	src.weight -= th.Weight
+	src.queued -= tn.n
+	if src.sfs != nil && dst.sfs != nil {
+		lead := th.Finish - src.sfs.VirtualTime()
+		if lead < 0 {
+			lead = 0
+		}
+		th.Finish = dst.sfs.VirtualTime() + lead
+	}
+	th.LastCPU = sched.NoCPU
+	dst.byThread[th] = tn
+	dst.weight += th.Weight
+	dst.queued += tn.n
+	// No submitter is waiting (waiters == 0), so rebinding the backpressure
+	// condition to the destination lock is safe.
+	tn.notFull = sync.NewCond(&dst.mu)
+	tn.sh.Store(dst)
+	if tn.inSched {
+		th.State = sched.Runnable
+		mustSched(dst.sch.Add(th, now))
+		dst.workCond.Signal()
+	}
+	return true
+}
+
+// rebalanceLoop is the background rebalancer (concurrent mode, Shards > 1).
+func (r *Runtime) rebalanceLoop(every time.Duration) {
+	defer r.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopRebalance:
+			return
+		case <-t.C:
+			r.Rebalance()
+		}
+	}
+}
+
+// ShardStat is a point-in-time view of one dispatch shard, for metrics
+// export: its capacity, its sub-share of the total weight, the service it
+// has delivered and the fairness of that delivery among its own tenants.
+type ShardStat struct {
+	Shard       int
+	Workers     int
+	Tenants     int              // tenants currently assigned to the shard
+	Runnable    int              // tenants in the shard's runnable set
+	Weight      float64          // Σ tenant weights: the shard's sub-share
+	VirtualTime float64          // shard scheduler's virtual time (core schedulers)
+	Service     simtime.Duration // time charged on this shard (stays here when tenants migrate)
+	Share       float64          // fraction of all charged time delivered by this shard
+	Jain        float64          // Jain index of per-weight service among the shard's current tenants
+	MaxLag      simtime.Duration
+}
+
+// ShardStats returns per-shard statistics in shard order. Lags are computed
+// against the global proportional ideal, so a shard whose tenants are
+// collectively behind shows a positive MaxLag.
+func (r *Runtime) ShardStats() []ShardStat {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	out := make([]ShardStat, len(r.shards))
+	var allServices []simtime.Duration
+	var allWeights []float64
+	var allShards []int
+	for i, sh := range r.shards {
+		sh.mu.Lock()
+		st := &out[i]
+		st.Shard = i
+		st.Workers = sh.workers
+		st.Tenants = len(sh.byThread)
+		st.Runnable = sh.sch.Runnable()
+		st.Weight = sh.weight
+		st.Service = sh.service
+		st.Jain = 1
+		if sh.sfs != nil {
+			st.VirtualTime = sh.sfs.Snapshot().VirtualTime
+		}
+		var services []simtime.Duration
+		var weights []float64
+		for th := range sh.byThread {
+			services = append(services, th.Service)
+			weights = append(weights, th.Weight)
+			allServices = append(allServices, th.Service)
+			allWeights = append(allWeights, th.Weight)
+			allShards = append(allShards, i)
+		}
+		if len(services) > 0 {
+			st.Jain = metrics.JainIndex(services, weights)
+		}
+		sh.mu.Unlock()
+	}
+	var total simtime.Duration
+	for i := range out {
+		total += out[i].Service
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Share = float64(out[i].Service) / float64(total)
+		}
+	}
+	if len(allServices) > 0 {
+		lags := metrics.Lags(allServices, allWeights)
+		for j, lag := range lags {
+			d := simtime.Duration(lag * float64(simtime.Second))
+			if d > out[allShards[j]].MaxLag {
+				out[allShards[j]].MaxLag = d
+			}
+		}
+	}
+	return out
+}

@@ -5,11 +5,24 @@
 // A Runtime owns a pool of worker goroutines, one per scheduled CPU, that
 // execute real submitted tasks (closures, request handlers). Every dispatch
 // decision is made by a sched.Scheduler — internal/core's SFS by default,
-// internal/hier for two-level tenant→class scheduling — under one central
-// lock, exactly as the paper's kernel serializes scheduling under the run
-// queue lock (§3.1). Where the simulated machine charges scripted quantum
-// lengths, the runtime charges the *measured* monotonic-clock runtime of each
-// task slice, read from a pluggable Clock.
+// internal/hier for two-level tenant→class scheduling. Where the simulated
+// machine charges scripted quantum lengths, the runtime charges the
+// *measured* monotonic-clock runtime of each task slice, read from a
+// pluggable Clock.
+//
+// # Sharded dispatch
+//
+// By default (Shards ≤ 1) one central lock serializes every dispatch, charge
+// and wakeup, exactly as the paper's kernel serializes scheduling under the
+// run queue lock (§3.1). Config.Shards > 1 splits the machine into
+// independent per-CPU runqueues instead: each shard owns a private SFS
+// instance, a private lock and a contiguous block of the worker pool, and
+// tenants carry their weight as a sub-share of the shard they are assigned
+// to. A rebalancer (periodic in concurrent mode, Rebalance in Manual mode)
+// migrates tenants between shards so every shard's total weight stays
+// proportional to its processor count, which is what keeps the partitioned
+// schedule within a bounded distance of the single-queue one; DESIGN.md §6
+// gives the argument and rebalance.go the mechanism.
 //
 // # Tenant model
 //
@@ -35,18 +48,20 @@
 //
 // # Determinism hook
 //
-// Config.Manual suppresses the worker pool; Dispatch and Dispatched.Complete
-// — the exact code path the workers use — are then driven externally. The
-// differential test in golden_test.go uses this to replay a simulated
-// machine's event order against a FakeClock and assert the runtime makes
-// bit-identical scheduling decisions. See DESIGN.md §5 for the full design
-// and the divergences from the simulated machine.
+// Config.Manual suppresses the worker pool and the background rebalancer;
+// Dispatch, Dispatched.Complete and Rebalance — the exact code paths the
+// workers and the rebalance loop use — are then driven externally. The
+// differential tests in golden_test.go and shard_test.go use this to replay
+// deterministic workloads on a FakeClock. See DESIGN.md §5 and §6 for the
+// full design and the divergences from the simulated machine.
 package rt
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sfsched/internal/core"
 	"sfsched/internal/metrics"
@@ -82,18 +97,28 @@ func Once(fn func()) Task {
 	}
 }
 
+// DefaultRebalanceEvery is the background rebalancer's period when
+// Config.RebalanceEvery is zero.
+const DefaultRebalanceEvery = 100 * time.Millisecond
+
 // Config assembles a Runtime.
 type Config struct {
 	// Workers is the worker pool size — the number of "CPUs" the scheduler
 	// arbitrates. Required.
 	Workers int
+	// Shards splits dispatch into that many independent per-CPU runqueues,
+	// each with its own SFS instance, lock and contiguous worker block
+	// (Workers must be ≥ Shards). 0 or 1 keeps the single central runqueue
+	// whose lock serializes all scheduling, as the paper's kernel does.
+	Shards int
 	// Scheduler makes the dispatch decisions. Defaults to an exact-mode
 	// internal/core SFS for Workers processors. A non-nil scheduler must be
-	// configured for exactly Workers CPUs. For two-level scheduling pass an
-	// internal/hier instance and assign tenant threads (Tenant.Thread) to
-	// classes before their first Submit.
+	// configured for exactly Workers CPUs and requires Shards ≤ 1 (shards
+	// build their own per-shard SFS instances). For two-level scheduling
+	// pass an internal/hier instance and assign tenant threads
+	// (Tenant.Thread) to classes before their first Submit.
 	Scheduler sched.Scheduler
-	// Quantum overrides the default scheduler's maximum quantum (ignored
+	// Quantum overrides the default schedulers' maximum quantum (ignored
 	// when Scheduler is non-nil; 0 keeps the paper's 200 ms default).
 	Quantum simtime.Duration
 	// Clock supplies time for charging. Defaults to the monotonic wall
@@ -101,16 +126,28 @@ type Config struct {
 	Clock Clock
 	// QueueCap bounds each tenant's backlog (backpressure). Default 256.
 	QueueCap int
-	// Manual suppresses the worker pool; the caller drives Dispatch and
-	// Dispatched.Complete directly (deterministic tests).
+	// Manual suppresses the worker pool and the background rebalancer; the
+	// caller drives Dispatch, Dispatched.Complete and Rebalance directly
+	// (deterministic tests).
 	Manual bool
+	// RebalanceEvery is the period of the background shard rebalancer
+	// (concurrent mode with Shards > 1 only). 0 means
+	// DefaultRebalanceEvery; negative disables the background rebalancer
+	// (Rebalance may still be called directly).
+	RebalanceEvery time.Duration
 }
 
 // Tenant is a registered principal: one scheduler thread plus a bounded FIFO
 // backlog of tasks. All methods are safe for concurrent use.
+//
+// A tenant lives on exactly one shard at a time; sh names it and the shard's
+// mutex guards every other mutable field. The rebalancer may move an idle
+// (not running, no blocked submitters) tenant between shards, so any path
+// that is not already pinned to a shard must enter through lockShard.
 type Tenant struct {
 	r  *Runtime
 	th *sched.Thread
+	sh atomic.Pointer[shard]
 
 	// Ring buffer of pending tasks; buf[head] is the in-progress task while
 	// the tenant is running.
@@ -118,7 +155,8 @@ type Tenant struct {
 	head int
 	n    int
 
-	inSched bool // thread currently in the scheduler's runnable set
+	waiters int  // submitters blocked in notFull.Wait (pins the shard)
+	inSched bool // thread currently in its shard scheduler's runnable set
 	closing bool // Unregister called; drains in-flight work, drops backlog
 	gone    bool // fully unregistered
 
@@ -126,46 +164,59 @@ type Tenant struct {
 }
 
 // Runtime is the concurrent wall-clock scheduling runtime. All exported
-// methods are safe for concurrent use; a single mutex serializes scheduler
-// access, playing the kernel run-queue lock.
+// methods are safe for concurrent use. Scheduling state is partitioned into
+// shards, each serialized by its own mutex (one shard ≡ the kernel run-queue
+// lock); the registry of live tenants is guarded by regMu. Lock order:
+// regMu → shard.mu (ascending shard id when taking several) → quietMu.
 type Runtime struct {
-	mu    sync.Mutex
-	sch   sched.Scheduler
-	clock Clock
-	qcap  int
+	shards      []*shard
+	workerShard []*shard     // global worker index → owning shard
+	workerLocal []int        // global worker index → CPU index within the shard
+	dslots      []Dispatched // per-worker dispatch slot, reused across slices
+	clock       Clock
+	qcap        int
+	manual      bool
 
-	tenants  []*Tenant
-	byThread map[*sched.Thread]*Tenant
-	nextID   int
+	closed atomic.Bool
 
-	running int // dispatched tasks currently in flight
-	queued  int // queued tasks across all tenants, including continuations
+	// gQueued counts queued tasks across all shards, including in-flight
+	// continuations; every task stays counted until its final Complete, so
+	// gQueued == 0 means no backlog and nothing running.
+	gQueued    atomic.Int64
+	quietMu    sync.Mutex
+	quietCond  *sync.Cond
+	taskPanics atomic.Int64
+	migrations atomic.Int64
 
-	closed     bool
-	workCond   *sync.Cond // workers wait for dispatchable work
-	quietCond  *sync.Cond // Drain waits for queued == 0 && running == 0
-	wg         sync.WaitGroup
-	taskPanics int64
+	regMu   sync.Mutex
+	tenants []*Tenant
+	nextID  int
+
+	stopRebalance chan struct{}
+	wg            sync.WaitGroup
 }
 
 // New builds a runtime from cfg and, unless cfg.Manual is set, starts its
-// worker pool. It panics on inconsistent static configuration (non-positive
-// worker count, scheduler CPU mismatch); these are programmer errors.
+// worker pool (and, with Shards > 1, the background rebalancer). It panics on
+// inconsistent static configuration (non-positive worker count, more shards
+// than workers, scheduler CPU mismatch); these are programmer errors.
 func New(cfg Config) *Runtime {
 	if cfg.Workers < 1 {
 		panic(fmt.Sprintf("rt: invalid worker count %d", cfg.Workers))
 	}
-	sch := cfg.Scheduler
-	if sch == nil {
-		q := cfg.Quantum
-		if q <= 0 {
-			q = core.DefaultQuantum
-		}
-		sch = core.New(cfg.Workers, core.WithQuantum(q))
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = 1
 	}
-	if sch.NumCPU() != cfg.Workers {
-		panic(fmt.Sprintf("rt: %d workers but scheduler configured for %d CPUs",
-			cfg.Workers, sch.NumCPU()))
+	if nshards > cfg.Workers {
+		panic(fmt.Sprintf("rt: %d shards but only %d workers", nshards, cfg.Workers))
+	}
+	if nshards > 1 && cfg.Scheduler != nil {
+		panic("rt: a custom scheduler requires Shards <= 1")
+	}
+	q := cfg.Quantum
+	if q <= 0 {
+		q = core.DefaultQuantum
 	}
 	clock := cfg.Clock
 	if clock == nil {
@@ -175,35 +226,70 @@ func New(cfg Config) *Runtime {
 	if qcap <= 0 {
 		qcap = 256
 	}
-	r := &Runtime{
-		sch:      sch,
-		clock:    clock,
-		qcap:     qcap,
-		byThread: make(map[*sched.Thread]*Tenant),
+	r := &Runtime{clock: clock, qcap: qcap, manual: cfg.Manual}
+	r.quietCond = sync.NewCond(&r.quietMu)
+	base, extra := cfg.Workers/nshards, cfg.Workers%nshards
+	for i := 0; i < nshards; i++ {
+		count := base
+		if i < extra {
+			count++
+		}
+		sh := &shard{r: r, id: i, workers: count, byThread: make(map[*sched.Thread]*Tenant)}
+		if cfg.Scheduler != nil {
+			sh.sch = cfg.Scheduler
+			if sfs, ok := cfg.Scheduler.(*core.SFS); ok {
+				sh.sfs = sfs
+			}
+		} else {
+			sfs := core.New(count, core.WithQuantum(q))
+			sh.sch, sh.sfs = sfs, sfs
+		}
+		if sh.sch.NumCPU() != count {
+			panic(fmt.Sprintf("rt: %d workers but scheduler configured for %d CPUs",
+				count, sh.sch.NumCPU()))
+		}
+		sh.workCond = sync.NewCond(&sh.mu)
+		r.shards = append(r.shards, sh)
+		for local := 0; local < count; local++ {
+			r.workerShard = append(r.workerShard, sh)
+			r.workerLocal = append(r.workerLocal, local)
+		}
 	}
-	r.workCond = sync.NewCond(&r.mu)
-	r.quietCond = sync.NewCond(&r.mu)
+	r.dslots = make([]Dispatched, len(r.workerShard))
 	if !cfg.Manual {
-		for i := 0; i < cfg.Workers; i++ {
+		for w := range r.workerShard {
 			r.wg.Add(1)
-			go r.worker(i)
+			go r.worker(w)
+		}
+		if nshards > 1 && cfg.RebalanceEvery >= 0 {
+			every := cfg.RebalanceEvery
+			if every == 0 {
+				every = DefaultRebalanceEvery
+			}
+			r.stopRebalance = make(chan struct{})
+			r.wg.Add(1)
+			go r.rebalanceLoop(every)
 		}
 	}
 	return r
 }
 
 // Workers returns the worker pool size.
-func (r *Runtime) Workers() int { return r.sch.NumCPU() }
+func (r *Runtime) Workers() int { return len(r.workerShard) }
 
-// Register creates a tenant with the given display name and weight. The
-// tenant joins the scheduler's runnable set on its first Submit.
+// Shards returns the number of dispatch shards (1 = central runqueue).
+func (r *Runtime) Shards() int { return len(r.shards) }
+
+// Register creates a tenant with the given display name and weight, placing
+// it on the shard with the least weight per processor. The tenant joins its
+// shard scheduler's runnable set on its first Submit.
 func (r *Runtime) Register(name string, weight float64) (*Tenant, error) {
 	if !sched.ValidWeight(weight) {
 		return nil, fmt.Errorf("%w: %g", sched.ErrBadWeight, weight)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	if r.closed.Load() {
 		return nil, ErrRuntimeClosed
 	}
 	r.nextID++
@@ -216,57 +302,83 @@ func (r *Runtime) Register(name string, weight float64) (*Tenant, error) {
 		LastCPU: sched.NoCPU,
 	}
 	tn := &Tenant{r: r, th: th, buf: make([]Task, r.qcap)}
-	tn.notFull = sync.NewCond(&r.mu)
+	best := r.shards[0]
+	if len(r.shards) > 1 {
+		bestLoad := 0.0
+		for i, sh := range r.shards {
+			sh.mu.Lock()
+			load := sh.weight / float64(sh.workers)
+			sh.mu.Unlock()
+			if i == 0 || load < bestLoad {
+				best, bestLoad = sh, load
+			}
+		}
+	}
+	best.mu.Lock()
+	best.byThread[th] = tn
+	best.weight += weight
+	tn.notFull = sync.NewCond(&best.mu)
+	tn.sh.Store(best)
+	best.mu.Unlock()
 	r.tenants = append(r.tenants, tn)
-	r.byThread[th] = tn
 	return tn, nil
 }
 
 // Unregister removes a tenant. Pending backlog tasks are dropped; an
 // in-flight task runs to the end of its current slice and is charged, after
-// which the tenant leaves the scheduler. Unregister does not wait for the
-// in-flight task. Submitting to an unregistered tenant fails with
+// which the tenant leaves its shard's scheduler. Unregister does not wait for
+// the in-flight task. Submitting to an unregistered tenant fails with
 // ErrTenantClosed.
 func (r *Runtime) Unregister(tn *Tenant) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if tn.r != r {
 		return ErrForeignTenant
 	}
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	sh := tn.lockShard()
 	if tn.closing || tn.gone {
+		sh.mu.Unlock()
 		return ErrTenantClosed
 	}
 	tn.closing = true
 	tn.notFull.Broadcast()
 	if tn.th.Running() {
-		return nil // completeLocked finalizes after the in-flight slice
+		sh.mu.Unlock()
+		return nil // Complete finalizes after the in-flight slice
 	}
-	r.dropBacklogLocked(tn)
+	sh.dropBacklogLocked(tn)
 	if tn.inSched {
 		tn.th.State = sched.Exited
-		mustSched(r.sch.Remove(tn.th, r.clock.Now()))
+		mustSched(sh.sch.Remove(tn.th, r.clock.Now()))
 		tn.inSched = false
 	}
-	r.finalizeLocked(tn)
-	r.signalQuietLocked()
+	sh.finalizeLocked(tn)
+	sh.mu.Unlock()
+	r.removeTenantLocked(tn)
 	return nil
 }
 
 // SetWeight changes a tenant's weight on the fly, like the paper's setweight
-// system call; the scheduler readjusts instantaneous weights immediately.
+// system call; the shard scheduler readjusts instantaneous weights
+// immediately and the shard's sub-share moves with the tenant's weight.
 func (r *Runtime) SetWeight(tn *Tenant, w float64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if tn.r != r {
 		return ErrForeignTenant
 	}
-	if r.closed {
+	if r.closed.Load() {
 		return ErrRuntimeClosed
 	}
+	sh := tn.lockShard()
+	defer sh.mu.Unlock()
 	if tn.closing || tn.gone {
 		return ErrTenantClosed
 	}
-	return r.sch.SetWeight(tn.th, w, r.clock.Now())
+	old := tn.th.Weight
+	if err := sh.sch.SetWeight(tn.th, w, r.clock.Now()); err != nil {
+		return err
+	}
+	sh.weight += w - old
+	return nil
 }
 
 // Thread returns the tenant's scheduler-visible thread control block, for
@@ -278,6 +390,28 @@ func (tn *Tenant) Thread() *sched.Thread { return tn.th }
 // Name returns the tenant's display name.
 func (tn *Tenant) Name() string { return tn.th.Name }
 
+// Shard returns the index of the shard the tenant currently lives on.
+func (tn *Tenant) Shard() int {
+	sh := tn.lockShard()
+	defer sh.mu.Unlock()
+	return sh.id
+}
+
+// lockShard locks and returns the tenant's current shard. The rebalancer can
+// move the tenant between the load of the pointer and the lock acquisition,
+// so the binding is re-checked under the lock; migration is performed with
+// both shard locks held, which makes the loop converge.
+func (tn *Tenant) lockShard() *shard {
+	for {
+		sh := tn.sh.Load()
+		sh.mu.Lock()
+		if tn.sh.Load() == sh {
+			return sh
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Submit appends a task to the tenant's backlog, blocking while the backlog
 // is full. It fails with ErrTenantClosed after Unregister and
 // ErrRuntimeClosed after Close.
@@ -285,13 +419,16 @@ func (tn *Tenant) Submit(task Task) error {
 	if task == nil {
 		panic("rt: nil task")
 	}
-	r := tn.r
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for tn.n == len(tn.buf) && !tn.closing && !r.closed {
+	sh := tn.lockShard()
+	defer sh.mu.Unlock()
+	for tn.n == len(tn.buf) && !tn.closing && !tn.r.closed.Load() {
+		// A positive waiter count pins the tenant to this shard, so the
+		// condition variable's mutex is still the right one after Wait.
+		tn.waiters++
 		tn.notFull.Wait()
+		tn.waiters--
 	}
-	return tn.submitLocked(task)
+	return tn.submitLocked(sh, task)
 }
 
 // TrySubmit is Submit without blocking: a full backlog fails with
@@ -300,18 +437,17 @@ func (tn *Tenant) TrySubmit(task Task) error {
 	if task == nil {
 		panic("rt: nil task")
 	}
-	r := tn.r
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if tn.n == len(tn.buf) && !tn.closing && !r.closed {
+	sh := tn.lockShard()
+	defer sh.mu.Unlock()
+	if tn.n == len(tn.buf) && !tn.closing && !tn.r.closed.Load() {
 		return ErrBackpressure
 	}
-	return tn.submitLocked(task)
+	return tn.submitLocked(sh, task)
 }
 
-func (tn *Tenant) submitLocked(task Task) error {
+func (tn *Tenant) submitLocked(sh *shard, task Task) error {
 	r := tn.r
-	if r.closed {
+	if r.closed.Load() {
 		return ErrRuntimeClosed
 	}
 	if tn.closing || tn.gone {
@@ -319,34 +455,37 @@ func (tn *Tenant) submitLocked(task Task) error {
 	}
 	tn.buf[(tn.head+tn.n)%len(tn.buf)] = task
 	tn.n++
-	r.queued++
+	sh.queued++
+	r.gQueued.Add(1)
 	if !tn.inSched {
 		// Wakeup: S_i = max(F_i, v) via the scheduler's Add rule.
 		tn.th.State = sched.Runnable
-		mustSched(r.sch.Add(tn.th, r.clock.Now()))
+		mustSched(sh.sch.Add(tn.th, r.clock.Now()))
 		tn.inSched = true
 	}
-	r.workCond.Signal()
+	sh.workCond.Signal()
 	return nil
 }
 
 // Queued returns the tenant's backlog length, counting an unfinished
 // in-flight task.
 func (tn *Tenant) Queued() int {
-	tn.r.mu.Lock()
-	defer tn.r.mu.Unlock()
+	sh := tn.lockShard()
+	defer sh.mu.Unlock()
 	return tn.n
 }
 
 // Dispatched is an in-flight slice: a tenant's head task granted to a worker.
 type Dispatched struct {
 	r        *Runtime
+	sh       *shard
 	tn       *Tenant
-	worker   int
+	worker   int // global worker index
+	local    int // CPU index within the shard
 	start    simtime.Time
 	slice    simtime.Duration
 	task     Task
-	finished bool
+	inFlight bool // set by Dispatch, cleared by Complete
 }
 
 // Tenant returns the tenant whose task was dispatched.
@@ -358,83 +497,72 @@ func (d *Dispatched) Slice() simtime.Duration { return d.slice }
 // Worker returns the worker index the slice was dispatched to.
 func (d *Dispatched) Worker() int { return d.worker }
 
-// Dispatch asks the scheduler for the next tenant to run on worker and marks
-// it running, or returns nil when no runnable non-running tenant exists. It
-// is exported for Manual mode; each worker index must have at most one
-// dispatch in flight (the worker pool guarantees this in concurrent mode).
-// Every Dispatch must be paired with exactly one Complete.
+// Dispatch asks the worker's shard scheduler for the next tenant to run and
+// marks it running, or returns nil when the shard has no runnable
+// non-running tenant. It is exported for Manual mode; each worker index must
+// have at most one dispatch in flight (the worker pool guarantees this in
+// concurrent mode). Every Dispatch must be paired with exactly one Complete,
+// and the returned Dispatched — a per-worker slot reused across slices to
+// keep the hot path allocation-free — must not be retained after Complete.
 func (r *Runtime) Dispatch(worker int) *Dispatched {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	if worker < 0 || worker >= len(r.workerShard) {
+		panic(fmt.Sprintf("rt: worker %d out of range [0,%d)", worker, len(r.workerShard)))
+	}
+	sh := r.workerShard[worker]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.closed.Load() {
 		return nil // Close abandons the remaining backlog
 	}
-	return r.dispatchLocked(worker)
-}
-
-func (r *Runtime) dispatchLocked(worker int) *Dispatched {
-	now := r.clock.Now()
-	th := r.sch.Pick(worker, now)
-	if th == nil {
-		return nil
-	}
-	tn := r.byThread[th]
-	if tn == nil || tn.n == 0 {
-		panic(fmt.Sprintf("rt: scheduler picked %v with no queued work", th))
-	}
-	th.CPU = worker
-	r.running++
-	return &Dispatched{
-		r:      r,
-		tn:     tn,
-		worker: worker,
-		start:  now,
-		slice:  r.sch.Timeslice(th, now),
-		task:   tn.buf[tn.head],
-	}
+	return sh.dispatchLocked(worker, r.workerLocal[worker])
 }
 
 // Complete ends the slice: the tenant is charged for the clock time elapsed
 // since Dispatch, the head task is popped if done, and a tenant left with an
-// empty backlog blocks (leaves the runnable set). It returns the charged
-// duration. In concurrent mode the workers call it; in Manual mode the
-// driver does, passing the done value its workload model dictates.
+// empty backlog blocks (leaves the shard's runnable set). It returns the
+// charged duration. In concurrent mode the workers call it; in Manual mode
+// the driver does, passing the done value its workload model dictates.
 func (d *Dispatched) Complete(done bool) simtime.Duration {
-	r := d.r
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if d.finished {
+	r, sh, tn := d.r, d.sh, d.tn
+	// A running tenant is never migrated, so d's shard is still tn's.
+	sh.mu.Lock()
+	if !d.inFlight {
+		sh.mu.Unlock()
 		panic("rt: slice completed twice")
 	}
-	d.finished = true
+	d.inFlight = false
+	d.task = nil // release the closure; the slot outlives the slice
 	now := r.clock.Now()
 	elapsed := now.Sub(d.start)
 	if elapsed < 0 {
 		elapsed = 0
 	}
-	tn := d.tn
 	th := tn.th
 	th.CPU = sched.NoCPU
-	th.LastCPU = d.worker
-	r.running--
-	r.sch.Charge(th, elapsed, now)
+	th.LastCPU = d.local
+	sh.running--
+	sh.sch.Charge(th, elapsed, now)
+	sh.service += elapsed
 	if done {
 		tn.pop()
-		r.queued--
+		sh.queued--
+		r.decQueued(1)
 	}
 	if tn.closing {
-		r.dropBacklogLocked(tn)
+		sh.dropBacklogLocked(tn)
 	}
+	finalized := false
 	if tn.n == 0 && tn.inSched {
 		if tn.closing {
 			th.State = sched.Exited
 		} else {
 			th.State = sched.Blocked
 		}
-		mustSched(r.sch.Remove(th, now))
+		mustSched(sh.sch.Remove(th, now))
 		tn.inSched = false
 		if tn.closing {
-			r.finalizeLocked(tn)
+			sh.finalizeLocked(tn)
+			finalized = true
 		}
 	}
 	if done {
@@ -444,14 +572,19 @@ func (d *Dispatched) Complete(done bool) simtime.Duration {
 	// At most one tenant (the charged one) became dispatchable; the
 	// completing worker re-enters its own dispatch loop without waiting, so
 	// a single waiting worker is the most that needs waking.
-	r.workCond.Signal()
-	r.signalQuietLocked()
+	sh.workCond.Signal()
+	sh.mu.Unlock()
+	if finalized {
+		r.regMu.Lock()
+		r.removeTenantLocked(tn)
+		r.regMu.Unlock()
+	}
 	return elapsed
 }
 
-// worker is the pool loop: wait for a dispatch, run the task outside the
-// lock, complete. A panicking task is recovered, charged, and dropped, so
-// one bad handler cannot wedge a worker.
+// worker is the pool loop: wait for a dispatch on the worker's shard, run the
+// task outside the lock, complete. A panicking task is recovered, charged,
+// and dropped, so one bad handler cannot wedge a worker.
 func (r *Runtime) worker(id int) {
 	defer r.wg.Done()
 	for {
@@ -465,56 +598,72 @@ func (r *Runtime) worker(id int) {
 }
 
 func (r *Runtime) awaitDispatch(id int) *Dispatched {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	sh := r.workerShard[id]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for {
-		if r.closed {
+		if r.closed.Load() {
 			return nil
 		}
-		if d := r.dispatchLocked(id); d != nil {
+		if d := sh.dispatchLocked(id, r.workerLocal[id]); d != nil {
 			return d
 		}
-		r.workCond.Wait()
+		sh.workCond.Wait()
 	}
 }
 
 func (r *Runtime) runTask(d *Dispatched) (done bool) {
 	defer func() {
 		if e := recover(); e != nil {
-			r.mu.Lock()
-			r.taskPanics++
-			r.mu.Unlock()
+			r.taskPanics.Add(1)
 			done = true // drop the panicking task; the slice is still charged
 		}
 	}()
 	return d.task(d.slice)
 }
 
+// decQueued retires n globally-queued tasks and wakes Drain when the last
+// one goes. quietMu nests inside shard locks (shard.mu → quietMu), never the
+// reverse.
+func (r *Runtime) decQueued(n int64) {
+	if r.gQueued.Add(-n) == 0 {
+		r.quietMu.Lock()
+		r.quietCond.Broadcast()
+		r.quietMu.Unlock()
+	}
+}
+
 // Drain blocks until every backlog is empty and no task is in flight (or the
 // runtime is closed). With tenants that perpetually resubmit, Drain only
 // returns once their submitters stop.
 func (r *Runtime) Drain() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for (r.queued > 0 || r.running > 0) && !r.closed {
+	r.quietMu.Lock()
+	defer r.quietMu.Unlock()
+	for r.gQueued.Load() > 0 && !r.closed.Load() {
 		r.quietCond.Wait()
 	}
 }
 
-// Close stops the worker pool and waits for in-flight tasks to finish. Tasks
-// still queued are abandoned; call Drain first for a graceful shutdown.
-// Close is idempotent.
+// Close stops the worker pool (and rebalancer) and waits for in-flight tasks
+// to finish. Tasks still queued are abandoned; call Drain first for a
+// graceful shutdown. Close is idempotent.
 func (r *Runtime) Close() {
-	r.mu.Lock()
-	if !r.closed {
-		r.closed = true
-		r.workCond.Broadcast()
-		r.quietCond.Broadcast()
-		for _, tn := range r.tenants {
-			tn.notFull.Broadcast()
+	if r.closed.CompareAndSwap(false, true) {
+		if r.stopRebalance != nil {
+			close(r.stopRebalance)
 		}
+		for _, sh := range r.shards {
+			sh.mu.Lock()
+			sh.workCond.Broadcast()
+			for _, tn := range sh.byThread {
+				tn.notFull.Broadcast()
+			}
+			sh.mu.Unlock()
+		}
+		r.quietMu.Lock()
+		r.quietCond.Broadcast()
+		r.quietMu.Unlock()
 	}
-	r.mu.Unlock()
 	r.wg.Wait()
 }
 
@@ -522,32 +671,48 @@ func (r *Runtime) Close() {
 type TenantStat struct {
 	Name    string
 	Weight  float64
+	Shard   int              // shard the tenant currently lives on
 	Service simtime.Duration // charged clock time
 	Share   float64          // fraction of all charged time
+	Lag     simtime.Duration // proportional ideal minus received (positive = behind)
 	Queued  int
 	Running bool
 }
 
-// Stats returns per-tenant statistics in registration order, with shares
-// computed by internal/metrics over the charged service.
+// Stats returns per-tenant statistics in registration order, with shares and
+// lags computed by internal/metrics over the charged service.
 func (r *Runtime) Stats() []TenantStat {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	services := make([]simtime.Duration, len(r.tenants))
-	for i, tn := range r.tenants {
-		services[i] = tn.th.Service
-	}
-	shares := metrics.SharesOf(services...)
-	out := make([]TenantStat, len(r.tenants))
-	for i, tn := range r.tenants {
-		out[i] = TenantStat{
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	out := make([]TenantStat, 0, len(r.tenants))
+	services := make([]simtime.Duration, 0, len(r.tenants))
+	weights := make([]float64, 0, len(r.tenants))
+	for _, tn := range r.tenants {
+		sh := tn.lockShard()
+		if tn.gone { // finalized by Complete, not yet pruned
+			sh.mu.Unlock()
+			continue
+		}
+		out = append(out, TenantStat{
 			Name:    tn.th.Name,
 			Weight:  tn.th.Weight,
-			Service: services[i],
-			Share:   shares[i],
+			Shard:   sh.id,
+			Service: tn.th.Service,
 			Queued:  tn.n,
 			Running: tn.th.Running(),
-		}
+		})
+		services = append(services, tn.th.Service)
+		weights = append(weights, tn.th.Weight)
+		sh.mu.Unlock()
+	}
+	if len(out) == 0 {
+		return out
+	}
+	shares := metrics.SharesOf(services...)
+	lags := metrics.Lags(services, weights)
+	for i := range out {
+		out[i].Share = shares[i]
+		out[i].Lag = simtime.Duration(lags[i] * float64(simtime.Second))
 	}
 	return out
 }
@@ -556,56 +721,105 @@ func (r *Runtime) Stats() []TenantStat {
 // service across the current tenants (1.0 = perfectly proportional), or 1
 // with no tenants.
 func (r *Runtime) JainIndex() float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.tenants) == 0 {
-		return 1
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	var services []simtime.Duration
+	var weights []float64
+	for _, tn := range r.tenants {
+		sh := tn.lockShard()
+		if !tn.gone {
+			services = append(services, tn.th.Service)
+			weights = append(weights, tn.th.Weight)
+		}
+		sh.mu.Unlock()
 	}
-	services := make([]simtime.Duration, len(r.tenants))
-	weights := make([]float64, len(r.tenants))
-	for i, tn := range r.tenants {
-		services[i] = tn.th.Service
-		weights[i] = tn.th.Weight
+	if len(services) == 0 {
+		return 1
 	}
 	return metrics.JainIndex(services, weights)
 }
 
 // TaskPanics returns how many submitted tasks panicked and were dropped.
-func (r *Runtime) TaskPanics() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.taskPanics
-}
+func (r *Runtime) TaskPanics() int64 { return r.taskPanics.Load() }
 
-// CheckInvariants validates runtime-level bookkeeping and, when the
-// underlying scheduler supports it (internal/core), the scheduler's own
-// structural invariants. Stress tests call it concurrently with traffic.
+// Migrations returns how many tenants the rebalancer has moved between
+// shards since the runtime started.
+func (r *Runtime) Migrations() int64 { return r.migrations.Load() }
+
+// CheckInvariants validates runtime-level bookkeeping — per-shard queue and
+// weight accounting, tenant↔shard binding, the global queued count — and,
+// where the underlying schedulers support it (internal/core), each shard
+// scheduler's own structural invariants. Stress tests call it concurrently
+// with traffic; it freezes the whole runtime (registry plus every shard) for
+// the duration.
 func (r *Runtime) CheckInvariants() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	queued, running := 0, 0
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for i := len(r.shards) - 1; i >= 0; i-- {
+			r.shards[i].mu.Unlock()
+		}
+	}()
+	totalQueued := 0
+	registered := make(map[*Tenant]bool, len(r.tenants))
 	for _, tn := range r.tenants {
-		queued += tn.n
-		if tn.th.Running() {
-			running++
-		}
-		// A tenant is in the runnable set exactly while it has work; a
-		// running tenant always holds its head task until Complete.
-		if tn.inSched != (tn.n > 0) {
-			return fmt.Errorf("rt: tenant %s inSched=%v with %d queued",
-				tn.th, tn.inSched, tn.n)
+		if !tn.gone {
+			registered[tn] = true
 		}
 	}
-	if queued != r.queued {
-		return fmt.Errorf("rt: queued counter %d, tenants hold %d", r.queued, queued)
-	}
-	if running != r.running {
-		return fmt.Errorf("rt: running counter %d, threads show %d", r.running, running)
-	}
-	if c, ok := r.sch.(interface{ CheckInvariants() error }); ok {
-		if err := c.CheckInvariants(); err != nil {
-			return err
+	seen := 0
+	for _, sh := range r.shards {
+		queued, running := 0, 0
+		weight := 0.0
+		for th, tn := range sh.byThread {
+			if tn.th != th || tn.sh.Load() != sh {
+				return fmt.Errorf("rt: tenant %s bound to shard %d but indexed on %d",
+					th, tn.sh.Load().id, sh.id)
+			}
+			if !registered[tn] {
+				return fmt.Errorf("rt: tenant %s on shard %d missing from the registry", th, sh.id)
+			}
+			seen++
+			queued += tn.n
+			weight += th.Weight
+			if th.Running() {
+				running++
+			}
+			// A tenant is in the runnable set exactly while it has work; a
+			// running tenant always holds its head task until Complete.
+			if tn.inSched != (tn.n > 0) {
+				return fmt.Errorf("rt: tenant %s inSched=%v with %d queued",
+					th, tn.inSched, tn.n)
+			}
 		}
+		if queued != sh.queued {
+			return fmt.Errorf("rt: shard %d queued counter %d, tenants hold %d",
+				sh.id, sh.queued, queued)
+		}
+		if running != sh.running {
+			return fmt.Errorf("rt: shard %d running counter %d, threads show %d",
+				sh.id, sh.running, running)
+		}
+		if diff := weight - sh.weight; diff > 1e-6*(1+weight) || diff < -1e-6*(1+weight) {
+			return fmt.Errorf("rt: shard %d weight account %g, tenants weigh %g",
+				sh.id, sh.weight, weight)
+		}
+		totalQueued += queued
+		if c, ok := sh.sch.(interface{ CheckInvariants() error }); ok {
+			if err := c.CheckInvariants(); err != nil {
+				return err
+			}
+		}
+	}
+	if seen != len(registered) {
+		return fmt.Errorf("rt: registry lists %d live tenants, shards hold %d",
+			len(registered), seen)
+	}
+	if g := r.gQueued.Load(); g != int64(totalQueued) {
+		return fmt.Errorf("rt: global queued counter %d, shards hold %d", g, totalQueued)
 	}
 	return nil
 }
@@ -616,29 +830,14 @@ func (tn *Tenant) pop() {
 	tn.n--
 }
 
-// dropBacklogLocked discards a closing tenant's pending tasks, including an
-// unfinished continuation at the head.
-func (r *Runtime) dropBacklogLocked(tn *Tenant) {
-	for tn.n > 0 {
-		tn.pop()
-		r.queued--
-	}
-}
-
-func (r *Runtime) finalizeLocked(tn *Tenant) {
-	tn.gone = true
-	delete(r.byThread, tn.th)
+// removeTenantLocked prunes a finalized tenant from the registry (regMu
+// held).
+func (r *Runtime) removeTenantLocked(tn *Tenant) {
 	for i, x := range r.tenants {
 		if x == tn {
 			r.tenants = append(r.tenants[:i], r.tenants[i+1:]...)
 			break
 		}
-	}
-}
-
-func (r *Runtime) signalQuietLocked() {
-	if r.queued == 0 && r.running == 0 {
-		r.quietCond.Broadcast()
 	}
 }
 

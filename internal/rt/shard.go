@@ -1,0 +1,92 @@
+// shard is one dispatch partition of the runtime: a private scheduler, a
+// private lock, and a contiguous block of the worker pool. With Shards ≤ 1
+// the single shard *is* the paper's central run queue; with more, each shard
+// schedules its own tenants independently and the rebalancer (rebalance.go)
+// keeps the per-shard weight sums proportional to the per-shard processor
+// counts so the partitioned schedule tracks the single-queue one.
+
+package rt
+
+import (
+	"fmt"
+	"sync"
+
+	"sfsched/internal/core"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+type shard struct {
+	r       *Runtime
+	id      int
+	workers int // processors owned by this shard
+
+	// mu serializes all scheduling on this shard — the per-shard equivalent
+	// of the kernel run-queue lock. It guards every field below and every
+	// mutable field of the tenants currently assigned here.
+	mu       sync.Mutex
+	sch      sched.Scheduler
+	sfs      *core.SFS // non-nil when sch is a core scheduler (always for Shards > 1)
+	byThread map[*sched.Thread]*Tenant
+	weight   float64          // Σ tenant weights: the shard's sub-share of the machine
+	queued   int              // queued tasks across this shard's tenants
+	running  int              // dispatched slices in flight on this shard
+	service  simtime.Duration // total time charged on this shard (survives migrations)
+	workCond *sync.Cond
+}
+
+// dispatchLocked picks the next tenant for the given worker (global index,
+// shard-local CPU) and marks it running. The returned Dispatched is the
+// worker's reusable slot — every worker index has at most one dispatch in
+// flight (the Dispatch contract), so the hot path allocates nothing.
+func (sh *shard) dispatchLocked(worker, local int) *Dispatched {
+	now := sh.r.clock.Now()
+	th := sh.sch.Pick(local, now)
+	if th == nil {
+		return nil
+	}
+	tn := sh.byThread[th]
+	if tn == nil || tn.n == 0 {
+		panic(fmt.Sprintf("rt: scheduler picked %v with no queued work", th))
+	}
+	th.CPU = local
+	sh.running++
+	d := &sh.r.dslots[worker]
+	if d.inFlight {
+		panic(fmt.Sprintf("rt: worker %d dispatched with a slice already in flight", worker))
+	}
+	*d = Dispatched{
+		r:        sh.r,
+		sh:       sh,
+		tn:       tn,
+		worker:   worker,
+		local:    local,
+		start:    now,
+		slice:    sh.sch.Timeslice(th, now),
+		task:     tn.buf[tn.head],
+		inFlight: true,
+	}
+	return d
+}
+
+// dropBacklogLocked discards a closing tenant's pending tasks, including an
+// unfinished continuation at the head.
+func (sh *shard) dropBacklogLocked(tn *Tenant) {
+	dropped := int64(0)
+	for tn.n > 0 {
+		tn.pop()
+		sh.queued--
+		dropped++
+	}
+	if dropped > 0 {
+		sh.r.decQueued(dropped)
+	}
+}
+
+// finalizeLocked detaches a fully-unregistered tenant from the shard. The
+// caller removes it from the runtime registry (under regMu) afterwards.
+func (sh *shard) finalizeLocked(tn *Tenant) {
+	tn.gone = true
+	delete(sh.byThread, tn.th)
+	sh.weight -= tn.th.Weight
+}

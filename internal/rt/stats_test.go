@@ -1,0 +1,204 @@
+package rt_test
+
+// Direct coverage for the metrics-export surface under concurrent tenant
+// churn: Stats, JainIndex and ShardStats race against Register, Unregister,
+// SetWeight and live traffic. Previously this surface was only exercised
+// indirectly by race_test.go; these tests pin its guarantees — no torn
+// reads, shares that sum to ~1, lags that sum to ~0, sane per-shard views —
+// under the race detector in CI.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sfsched/internal/rt"
+	"sfsched/internal/simtime"
+)
+
+func TestConcurrentStatsUnderChurn(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		shards := shards
+		name := "central"
+		if shards > 1 {
+			name = "sharded"
+		}
+		t.Run(name, func(t *testing.T) {
+			r := rt.New(rt.Config{
+				Workers:        4,
+				Shards:         shards,
+				Quantum:        2 * simtime.Millisecond,
+				QueueCap:       4,
+				RebalanceEvery: 5 * time.Millisecond,
+			})
+			defer r.Close()
+
+			var (
+				mu   sync.Mutex
+				live []*rt.Tenant
+			)
+			for i := 0; i < 6; i++ {
+				tn, err := r.Register("seed", 1+float64(i%3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, tn)
+			}
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var reads atomic.Int64
+
+			// Churner: replace tenants while readers run.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					i++
+					tn, err := r.Register("churn", 1+float64(i%4))
+					if err != nil {
+						if errors.Is(err, rt.ErrRuntimeClosed) {
+							return
+						}
+						t.Errorf("register: %v", err)
+						return
+					}
+					_ = tn.TrySubmit(rt.Once(func() { spin(20 * time.Microsecond) }))
+					mu.Lock()
+					live = append(live, tn)
+					victim := live[0]
+					live = live[1:]
+					mu.Unlock()
+					if err := r.Unregister(victim); err != nil && !errors.Is(err, rt.ErrTenantClosed) {
+						t.Errorf("unregister: %v", err)
+						return
+					}
+					time.Sleep(500 * time.Microsecond)
+				}
+			}()
+			// Submitter: keep live tenants busy so services advance.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					mu.Lock()
+					tns := append([]*rt.Tenant(nil), live...)
+					mu.Unlock()
+					for _, tn := range tns {
+						_ = tn.TrySubmit(rt.Once(func() { spin(20 * time.Microsecond) }))
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}()
+			// Readers: validate every exported metric while the set churns.
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						reads.Add(1)
+						var shareSum float64
+						var lagSum simtime.Duration
+						for _, s := range r.Stats() {
+							if s.Service < 0 || s.Queued < 0 || s.Share < 0 || s.Share > 1.0001 {
+								t.Errorf("bogus tenant stat %+v", s)
+								return
+							}
+							if s.Shard < 0 || s.Shard >= shards {
+								t.Errorf("tenant stat names shard %d of %d", s.Shard, shards)
+								return
+							}
+							shareSum += s.Share
+							lagSum += s.Lag
+						}
+						if shareSum > 1.0001 {
+							t.Errorf("tenant shares sum to %g", shareSum)
+							return
+						}
+						if lagSum > simtime.Millisecond || lagSum < -simtime.Millisecond {
+							t.Errorf("tenant lags sum to %v, want ~0", lagSum)
+							return
+						}
+						if j := r.JainIndex(); j < 0 || j > 1.0001 {
+							t.Errorf("Jain index %g out of range", j)
+							return
+						}
+						ss := r.ShardStats()
+						if len(ss) != shards {
+							t.Errorf("%d shard stats for %d shards", len(ss), shards)
+							return
+						}
+						for _, s := range ss {
+							if s.Weight < -1e-9 || s.Tenants < 0 || s.Runnable < 0 ||
+								s.Jain < 0 || s.Jain > 1.0001 || s.Share < 0 || s.Share > 1.0001 {
+								t.Errorf("bogus shard stat %+v", s)
+								return
+							}
+						}
+						if err := r.CheckInvariants(); err != nil {
+							t.Errorf("invariants: %v", err)
+							return
+						}
+					}
+				}()
+			}
+
+			time.Sleep(400 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+			r.Drain()
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if reads.Load() == 0 {
+				t.Fatal("no stats reads completed")
+			}
+		})
+	}
+}
+
+// TestStatsReflectUnregister pins the synchronous part of the contract: a
+// fully unregistered tenant disappears from Stats and per-shard tenant
+// counts immediately.
+func TestStatsReflectUnregister(t *testing.T) {
+	r := rt.New(rt.Config{Workers: 2, Shards: 2, QueueCap: 4, Manual: true})
+	defer r.Close()
+	a, _ := r.Register("a", 2)
+	b, _ := r.Register("b", 1)
+	if got := len(r.Stats()); got != 2 {
+		t.Fatalf("Stats lists %d tenants, want 2", got)
+	}
+	if err := r.Unregister(a); err != nil {
+		t.Fatal(err)
+	}
+	stats := r.Stats()
+	if len(stats) != 1 || stats[0].Weight != 1 {
+		t.Fatalf("Stats after Unregister: %+v", stats)
+	}
+	total := 0
+	for _, ss := range r.ShardStats() {
+		total += ss.Tenants
+	}
+	if total != 1 {
+		t.Fatalf("shards report %d tenants, want 1", total)
+	}
+	_ = b
+}

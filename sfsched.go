@@ -169,13 +169,31 @@ type (
 	RuntimeTask = rt.Task
 	// TenantStat is a point-in-time per-tenant metrics view.
 	TenantStat = rt.TenantStat
+	// ShardStat is a point-in-time per-shard metrics view of a sharded
+	// Runtime.
+	ShardStat = rt.ShardStat
 	// RuntimeClock supplies the runtime's notion of time.
 	RuntimeClock = rt.Clock
 	// FakeClock is a manually advanced RuntimeClock for deterministic tests.
 	FakeClock = rt.FakeClock
 )
 
-// NewRuntime builds a wall-clock runtime and starts its worker pool.
+// Runtime tenant-API errors.
+var (
+	// ErrRuntimeClosed reports an operation on a closed runtime.
+	ErrRuntimeClosed = rt.ErrRuntimeClosed
+	// ErrTenantClosed reports an operation on an unregistered tenant.
+	ErrTenantClosed = rt.ErrTenantClosed
+	// ErrBackpressure reports a TrySubmit against a full tenant backlog.
+	ErrBackpressure = rt.ErrBackpressure
+	// ErrForeignTenant reports a tenant handed to a runtime that does not
+	// own it.
+	ErrForeignTenant = rt.ErrForeignTenant
+)
+
+// NewRuntime builds a wall-clock runtime and starts its worker pool; set
+// RuntimeConfig.Shards > 1 for sharded per-CPU dispatch with background
+// weight rebalancing (see internal/rt and DESIGN.md §6).
 func NewRuntime(cfg RuntimeConfig) *Runtime { return rt.New(cfg) }
 
 // NewFakeClock returns a manually advanced clock at time 0.
