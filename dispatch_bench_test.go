@@ -30,10 +30,9 @@ import (
 // and submitters contend like they would on a 16-CPU host (on smaller hosts
 // the OS timeslices the threads — the regime where a held central lock
 // stalls every peer).
-func benchmarkDispatch(b *testing.B, shards int) {
+func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.RuntimePolicy) {
 	const (
 		workers    = 16
-		nTenants   = 16384
 		submitters = 16
 	)
 	prev := runtime.GOMAXPROCS(workers)
@@ -41,6 +40,7 @@ func benchmarkDispatch(b *testing.B, shards int) {
 	r := sfsched.NewRuntime(sfsched.RuntimeConfig{
 		Workers:        workers,
 		Shards:         shards,
+		Policy:         policy, // nil = the default exact-mode SFS
 		Quantum:        sfsched.Millisecond,
 		QueueCap:       2,
 		RebalanceEvery: -1, // static uniform tenants; isolate dispatch cost
@@ -84,7 +84,28 @@ func benchmarkDispatch(b *testing.B, shards int) {
 func BenchmarkDispatchSharded(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d/workers=16", shards), func(b *testing.B) {
-			benchmarkDispatch(b, shards)
+			benchmarkDispatch(b, shards, 16384, nil)
+		})
+	}
+}
+
+// BenchmarkDispatchPolicy sweeps the same contended pipeline across the live
+// scheduling policies at 4 shards: ns/op is the per-task cost of each
+// policy's decision path behind the policy-generic seam (capability
+// interfaces, no concrete-type dispatch). The tenant population is smaller
+// than BenchmarkDispatchSharded's because the baseline policies pick by
+// linear scan — SFQ and stride walk their sorted runqueues past running
+// threads, timeshare replays the 2.2 goodness() loop, lottery draws across
+// the whole ticket population — and the sweep's point is exactly that
+// contrast against SFS's sublinear pick at equal tenant count.
+func BenchmarkDispatchPolicy(b *testing.B) {
+	for _, name := range []string{"sfs", "sfq", "timeshare", "stride", "bvt", "lottery"} {
+		policy, err := sfsched.PolicyByName(name, sfsched.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("policy=%s/shards=4/workers=16", name), func(b *testing.B) {
+			benchmarkDispatch(b, 4, 4096, policy)
 		})
 	}
 }

@@ -6,8 +6,13 @@
 // per-CPU runqueues and the background rebalancer keeps each shard's
 // sub-share of the total weight proportional to its processor count.
 //
-//	go run ./examples/fairserver [-workers N] [-shards N] [-per-tier 4] [-duration 1s] [-cost 200µs]
+//	go run ./examples/fairserver [-policy sfs] [-workers N] [-shards N] [-per-tier 4] [-duration 1s] [-cost 200µs]
 //
+// -policy picks the dispatch policy per shard (sfs, sfq, sfq+readjust,
+// timeshare, stride, bvt, lottery, hier): the same live load under the
+// paper's scheduler or any of its baselines, so the Figure 6(b) contrast —
+// proportional shares under SFS/SFQ, weight-blind equal shares under
+// timeshare — reproduces on wall-clock hardware (cmd/livecmp tabulates it).
 // The worker pool defaults to GOMAXPROCS (all schedulable cores) and the
 // shard count to one shard per ~4 tenants, capped at the worker count. Each
 // tenant keeps itself backlogged by resubmitting from inside its own tasks,
@@ -18,7 +23,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -33,12 +40,19 @@ func spin(d time.Duration) {
 }
 
 func main() {
+	policy := flag.String("policy", "sfs",
+		"dispatch policy: "+strings.Join(sfsched.LivePolicies(), ", "))
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "dispatch shards (0 = auto: ~1 per 4 tenants, capped at workers; 1 = central lock)")
 	perTier := flag.Int("per-tier", 4, "tenants per weight tier (4 tiers: platinum/gold/silver/bronze)")
 	duration := flag.Duration("duration", time.Second, "how long to serve load")
 	cost := flag.Duration("cost", 200*time.Microsecond, "CPU cost of one task")
 	flag.Parse()
+	mkSched, err := sfsched.PolicyByName(*policy, 10*sfsched.Millisecond)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
@@ -68,7 +82,7 @@ func main() {
 	r := sfsched.NewRuntime(sfsched.RuntimeConfig{
 		Workers:  *workers,
 		Shards:   *shards,
-		Quantum:  10 * sfsched.Millisecond,
+		Policy:   mkSched,
 		QueueCap: 8,
 	})
 	defer r.Close()
@@ -95,8 +109,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("fairserver: %d workers, %d shards, %d tenants, %v of load\n",
-		*workers, *shards, nTenants, *duration)
+	fmt.Printf("fairserver: policy %s, %d workers, %d shards, %d tenants, %v of load\n",
+		*policy, *workers, *shards, nTenants, *duration)
 	time.Sleep(*duration)
 	stop.Store(true)
 	r.Drain()
@@ -121,11 +135,12 @@ func main() {
 	fmt.Print(tbl.String())
 
 	shardTbl := &metrics.Table{
-		Headers: []string{"shard", "workers", "tenants", "weight", "cpu_ms", "share", "ideal", "jain"},
+		Headers: []string{"shard", "policy", "workers", "tenants", "weight", "cpu_ms", "share", "ideal", "jain"},
 	}
 	for _, ss := range r.ShardStats() {
 		shardTbl.AddRow(
 			fmt.Sprintf("%d", ss.Shard),
+			ss.Policy,
 			fmt.Sprintf("%d", ss.Workers),
 			fmt.Sprintf("%d", ss.Tenants),
 			fmt.Sprintf("%.1f", ss.Weight),

@@ -198,6 +198,55 @@ func TestFacadeRuntime(t *testing.T) {
 	}
 }
 
+// TestFacadePolicyByName pins the policy-name surface: every advertised live
+// policy constructs and actually drives a sharded Manual-mode runtime, and
+// unknown names fail with a helpful error.
+func TestFacadePolicyByName(t *testing.T) {
+	for _, name := range sfsched.LivePolicies() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			policy, err := sfsched.PolicyByName(name, 10*sfsched.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards := 2
+			if name == "hier" {
+				shards = 1 // class assignment is per-instance; see DESIGN.md §7
+			}
+			clock := sfsched.NewFakeClock()
+			r := sfsched.NewRuntime(sfsched.RuntimeConfig{
+				Workers: 2, Shards: shards, Policy: policy, Clock: clock, Manual: true,
+			})
+			defer r.Close()
+			for i := 0; i < 4; i++ {
+				tn, err := r.Register(fmt.Sprintf("t%d", i), float64(i+1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tn.Submit(sfsched.RunOnce(func() {})); err != nil {
+					t.Fatal(err)
+				}
+			}
+			served := 0
+			for i := 0; i < 64; i++ {
+				d := r.Dispatch(i % 2)
+				if d == nil {
+					continue
+				}
+				clock.Advance(sfsched.Millisecond)
+				d.Complete(true)
+				served++
+			}
+			if served != 4 {
+				t.Fatalf("policy %s served %d tasks, want 4", name, served)
+			}
+		})
+	}
+	if _, err := sfsched.PolicyByName("fifo", 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
 // hooksFor adapts a GMS fluid to machine hooks (what experiments.AttachGMS
 // does internally; spelled out here against the public API).
 func hooksFor(f *sfsched.GMS) sfsched.Hooks {

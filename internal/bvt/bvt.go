@@ -92,6 +92,34 @@ func (b *BVT) NumCPU() int { return b.p }
 // Runnable implements sched.Scheduler.
 func (b *BVT) Runnable() int { return b.byEffective.Len() }
 
+// BVT implements the full capability set the sharded runtime can exploit.
+var (
+	_ sched.Scheduler       = (*BVT)(nil)
+	_ sched.VirtualTimer    = (*BVT)(nil)
+	_ sched.LagReporter     = (*BVT)(nil)
+	_ sched.FrameTranslator = (*BVT)(nil)
+)
+
+// VirtualTime implements sched.VirtualTimer: the scheduler virtual time
+// (minimum actual virtual time A_i over runnable threads).
+func (b *BVT) VirtualTime() float64 { return b.v }
+
+// FreshSurplus implements sched.LagReporter with the SFS surplus analogue
+// φ_i·(A_i − v). The warp is deliberately excluded: it is a latency
+// advantage, not banked service, so migration ranking considers only how far
+// ahead of the proportional ideal the thread's actual virtual time sits.
+func (b *BVT) FreshSurplus(t *sched.Thread) float64 { return t.Phi * (t.Start - b.v) }
+
+// FrameLead implements sched.FrameTranslator: the lead of t's actual virtual
+// time over the scheduler virtual time.
+func (b *BVT) FrameLead(t *sched.Thread) float64 { return t.Start - b.v }
+
+// SetFrameLead implements sched.FrameTranslator: re-bases t's actual virtual
+// time to sit lead ahead of this instance's scheduler virtual time; Add's
+// wakeup rule A_i = max(A_i, v) then re-admits the thread at its old
+// relative position.
+func (b *BVT) SetFrameLead(t *sched.Thread, lead float64) { t.Start = b.v + lead }
+
 // Add implements sched.Scheduler: a thread (re)joining the runnable set has
 // its actual virtual time brought up to the scheduler virtual time, BVT's
 // sleep/wakeup rule.

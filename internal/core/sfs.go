@@ -234,6 +234,14 @@ func New(p int, opts ...Option) *SFS {
 	return s
 }
 
+// SFS implements the full capability set the sharded runtime can exploit.
+var (
+	_ sched.Scheduler       = (*SFS)(nil)
+	_ sched.VirtualTimer    = (*SFS)(nil)
+	_ sched.LagReporter     = (*SFS)(nil)
+	_ sched.FrameTranslator = (*SFS)(nil)
+)
+
 // Name implements sched.Scheduler.
 func (s *SFS) Name() string {
 	if s.k > 0 {
@@ -276,10 +284,37 @@ func (s *SFS) Snapshot() Snapshot {
 
 // FreshSurplus returns t's surplus α_i = φ_i·(S_i − v) against the current
 // virtual time, in the arithmetic (float or fixed) a full refresh would use.
-// The sharded runtime's rebalancer uses it to choose migration victims: a
-// thread with a large surplus is ahead of its ideal allocation, so the
-// wakeup-style tag re-entry a migration entails costs it the least.
+// The sharded runtime's rebalancer uses it (via sched.LagReporter) to choose
+// migration victims: a thread with a large surplus is ahead of its ideal
+// allocation, so the wakeup-style tag re-entry a migration entails costs it
+// the least.
 func (s *SFS) FreshSurplus(t *sched.Thread) float64 { return s.freshSurplus(t) }
+
+// FrameLead implements sched.FrameTranslator: the lead of t's finish tag
+// over this scheduler's virtual time, in the arithmetic the instance uses.
+// In fixed-point mode a thread that blocked before a wraparound rebase is
+// first brought into the current tag frame, as Add would.
+func (s *SFS) FrameLead(t *sched.Thread) float64 {
+	if s.fixed {
+		fxF := t.FxFinish - (s.fxShift - t.FxShift)
+		return s.scale.Float(fxF - s.fxV)
+	}
+	return t.Finish - s.v
+}
+
+// SetFrameLead implements sched.FrameTranslator: rewrites t's finish tag to
+// sit lead ahead of this scheduler's virtual time, so the §2.3 wakeup rule
+// S_i = max(F_i, v) re-admits the thread with the position it held on the
+// shard it migrated from.
+func (s *SFS) SetFrameLead(t *sched.Thread, lead float64) {
+	if s.fixed {
+		t.FxFinish = s.fxV + s.scale.FromFloat(lead)
+		t.FxShift = s.fxShift
+		t.Finish = s.scale.Float(t.FxFinish)
+		return
+	}
+	t.Finish = s.v + lead
+}
 
 // Stats returns a snapshot of internal event counters.
 func (s *SFS) Stats() Stats {

@@ -198,6 +198,33 @@ func (h *Hier) NumCPU() int { return h.p }
 // Runnable implements sched.Scheduler.
 func (h *Hier) Runnable() int { return h.byStart.Len() }
 
+// Hier implements the full capability set the sharded runtime can exploit.
+var (
+	_ sched.Scheduler       = (*Hier)(nil)
+	_ sched.VirtualTimer    = (*Hier)(nil)
+	_ sched.LagReporter     = (*Hier)(nil)
+	_ sched.FrameTranslator = (*Hier)(nil)
+)
+
+// VirtualTime implements sched.VirtualTimer (minimum start tag over runnable
+// threads).
+func (h *Hier) VirtualTime() float64 { return h.v }
+
+// FreshSurplus implements sched.LagReporter: t's surplus φ_i·(S_i − v)
+// against the current virtual time, with the hierarchical φ.
+func (h *Hier) FreshSurplus(t *sched.Thread) float64 { return t.Phi * (t.Start - h.v) }
+
+// FrameLead implements sched.FrameTranslator: the lead of t's finish tag
+// over the virtual time.
+func (h *Hier) FrameLead(t *sched.Thread) float64 { return t.Finish - h.v }
+
+// SetFrameLead implements sched.FrameTranslator: re-bases t's finish tag to
+// sit lead ahead of this instance's virtual time; the arrival rule
+// S_i = max(F_i, v) then re-admits a migrated thread at its old relative
+// position. Class assignment does not travel: the destination instance
+// schedules the thread in whatever class its own Assign table names.
+func (h *Hier) SetFrameLead(t *sched.Thread, lead float64) { t.Finish = h.v + lead }
+
 // Add implements sched.Scheduler: the flat SFS arrival rule with
 // hierarchical φ.
 func (h *Hier) Add(t *sched.Thread, now simtime.Time) error {

@@ -16,6 +16,7 @@ import (
 	"sfsched/internal/core"
 	"sfsched/internal/machine"
 	"sfsched/internal/rt"
+	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
 	"sfsched/internal/trace"
 	"sfsched/internal/xrand"
@@ -117,11 +118,11 @@ func runtimeTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScrip
 	t.Helper()
 	clock := rt.NewFakeClock()
 	r := rt.New(rt.Config{
-		Workers:   p,
-		Scheduler: core.New(p, core.WithQuantum(q)),
-		Clock:     clock,
-		Manual:    true,
-		QueueCap:  4,
+		Workers:  p,
+		Policy:   func(cpus int) sched.Scheduler { return core.New(cpus, core.WithQuantum(q)) },
+		Clock:    clock,
+		Manual:   true,
+		QueueCap: 4,
 	})
 	type tstate struct {
 		tn  *rt.Tenant

@@ -111,8 +111,13 @@ func planRebalance(totals []float64, workers []int, movable [][]float64, tol flo
 // Rebalance runs one rebalancing pass: snapshot shard loads, plan moves with
 // planRebalance, and migrate the chosen tenants. Only tenants that are not
 // mid-slice and have no blocked submitters are eligible; within a shard,
-// candidates are offered in descending fresh-surplus order (threads ahead of
-// their ideal allocation lose the least from the wakeup-style re-entry).
+// candidates are offered in descending surplus order (threads ahead of their
+// ideal allocation lose the least from the wakeup-style re-entry). The
+// surplus comes from the shard scheduler's sched.LagReporter capability when
+// it has one, and otherwise from the generic service-minus-entitlement lag of
+// metrics.Lags over the shard's candidates — coarser (whole-lifetime service
+// instead of instantaneous tags; see DESIGN.md §7) but policy-agnostic, which
+// is what lets time sharing and lottery shard at all.
 // It returns the number of tenants migrated. Concurrent mode runs it
 // periodically (Config.RebalanceEvery); Manual mode calls it directly.
 func (r *Runtime) Rebalance() int {
@@ -140,10 +145,23 @@ func (r *Runtime) Rebalance() int {
 				continue
 			}
 			surplus := 0.0
-			if sh.sfs != nil && tn.inSched {
-				surplus = sh.sfs.FreshSurplus(th)
+			if sh.lag != nil && tn.inSched {
+				surplus = sh.lag.FreshSurplus(th)
 			}
 			cands = append(cands, candidate{tn, surplus})
+		}
+		if sh.lag == nil && len(cands) > 1 {
+			// Generic fallback: surplus = received − entitled over the
+			// candidate set (the negated metrics lag).
+			services := make([]simtime.Duration, len(cands))
+			weights := make([]float64, len(cands))
+			for j, c := range cands {
+				services[j] = c.tn.th.Service
+				weights[j] = c.tn.th.Weight
+			}
+			for j, lag := range metrics.Lags(services, weights) {
+				cands[j].surplus = -lag
+			}
 		}
 		sort.Slice(cands, func(a, b int) bool {
 			if cands[a].surplus != cands[b].surplus {
@@ -171,10 +189,13 @@ func (r *Runtime) Rebalance() int {
 }
 
 // migrate moves a tenant from src to dst, re-checking eligibility under both
-// shard locks (the snapshot the plan was made from is stale by now). The
-// tenant's finish tag is translated into the destination's virtual-time
-// frame preserving its lead over v, so the §2.3 wakeup rule re-admits it
-// with the same relative position it held on the source shard.
+// shard locks (the snapshot the plan was made from is stale by now). When
+// both shard schedulers translate frames (sched.FrameTranslator), the
+// tenant's tag is re-expressed in the destination's virtual-time frame
+// preserving its lead over the source's, so the §2.3 wakeup rule re-admits
+// it with the same relative position it held on the source shard; policies
+// without tag frames (time sharing, lottery) migrate their per-thread state
+// (counters, tickets) as-is.
 func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
 	if src == dst {
 		return false
@@ -199,12 +220,12 @@ func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
 	delete(src.byThread, th)
 	src.weight -= th.Weight
 	src.queued -= tn.n
-	if src.sfs != nil && dst.sfs != nil {
-		lead := th.Finish - src.sfs.VirtualTime()
+	if src.frame != nil && dst.frame != nil {
+		lead := src.frame.FrameLead(th)
 		if lead < 0 {
 			lead = 0
 		}
-		th.Finish = dst.sfs.VirtualTime() + lead
+		dst.frame.SetFrameLead(th, lead)
 	}
 	th.LastCPU = sched.NoCPU
 	dst.byThread[th] = tn
@@ -241,12 +262,16 @@ func (r *Runtime) rebalanceLoop(every time.Duration) {
 // export: its capacity, its sub-share of the total weight, the service it
 // has delivered and the fairness of that delivery among its own tenants.
 type ShardStat struct {
-	Shard       int
-	Workers     int
-	Tenants     int              // tenants currently assigned to the shard
-	Runnable    int              // tenants in the shard's runnable set
-	Weight      float64          // Σ tenant weights: the shard's sub-share
-	VirtualTime float64          // shard scheduler's virtual time (core schedulers)
+	Shard    int
+	Workers  int
+	Policy   string  // shard scheduler's Name()
+	Tenants  int     // tenants currently assigned to the shard
+	Runnable int     // tenants in the shard's runnable set
+	Weight   float64 // Σ tenant weights: the shard's sub-share
+	// VirtualTime is the shard scheduler's current virtual time when the
+	// policy reports one (sched.VirtualTimer: the fair-queueing family and
+	// stride), and 0 for policies without a virtual-time notion.
+	VirtualTime float64
 	Service     simtime.Duration // time charged on this shard (stays here when tenants migrate)
 	Share       float64          // fraction of all charged time delivered by this shard
 	Jain        float64          // Jain index of per-weight service among the shard's current tenants
@@ -268,13 +293,14 @@ func (r *Runtime) ShardStats() []ShardStat {
 		st := &out[i]
 		st.Shard = i
 		st.Workers = sh.workers
+		st.Policy = sh.sch.Name()
 		st.Tenants = len(sh.byThread)
 		st.Runnable = sh.sch.Runnable()
 		st.Weight = sh.weight
 		st.Service = sh.service
 		st.Jain = 1
-		if sh.sfs != nil {
-			st.VirtualTime = sh.sfs.Snapshot().VirtualTime
+		if sh.vt != nil {
+			st.VirtualTime = sh.vt.VirtualTime()
 		}
 		var services []simtime.Duration
 		var weights []float64

@@ -1,28 +1,36 @@
-// Package rt is sfsrt, the concurrent wall-clock SFS runtime: the first step
-// from reproducing the paper inside a deterministic simulation
+// Package rt is sfsrt, the concurrent wall-clock scheduling runtime: the
+// first step from reproducing the paper inside a deterministic simulation
 // (internal/machine) to a system that arbitrates real load.
 //
 // A Runtime owns a pool of worker goroutines, one per scheduled CPU, that
 // execute real submitted tasks (closures, request handlers). Every dispatch
 // decision is made by a sched.Scheduler — internal/core's SFS by default,
-// internal/hier for two-level tenant→class scheduling. Where the simulated
-// machine charges scripted quantum lengths, the runtime charges the
-// *measured* monotonic-clock runtime of each task slice, read from a
-// pluggable Clock.
+// any policy (SFQ, time sharing, stride, BVT, lottery, hierarchical SFS) via
+// Config.Policy. Where the simulated machine charges scripted quantum
+// lengths, the runtime charges the *measured* monotonic-clock runtime of
+// each task slice, read from a pluggable Clock.
 //
 // # Sharded dispatch
 //
 // By default (Shards ≤ 1) one central lock serializes every dispatch, charge
 // and wakeup, exactly as the paper's kernel serializes scheduling under the
 // run queue lock (§3.1). Config.Shards > 1 splits the machine into
-// independent per-CPU runqueues instead: each shard owns a private SFS
-// instance, a private lock and a contiguous block of the worker pool, and
-// tenants carry their weight as a sub-share of the shard they are assigned
-// to. A rebalancer (periodic in concurrent mode, Rebalance in Manual mode)
-// migrates tenants between shards so every shard's total weight stays
-// proportional to its processor count, which is what keeps the partitioned
-// schedule within a bounded distance of the single-queue one; DESIGN.md §6
-// gives the argument and rebalance.go the mechanism.
+// independent per-CPU runqueues instead: each shard owns a private scheduler
+// instance (built by Config.Policy), a private lock and a contiguous block
+// of the worker pool, and tenants carry their weight as a sub-share of the
+// shard they are assigned to. A rebalancer (periodic in concurrent mode,
+// Rebalance in Manual mode) migrates tenants between shards so every shard's
+// total weight stays proportional to its processor count, which is what
+// keeps the partitioned schedule within a bounded distance of the
+// single-queue one; DESIGN.md §6 gives the argument and rebalance.go the
+// mechanism.
+//
+// The runtime depends only on the sched.Scheduler interface plus the
+// optional capability interfaces of internal/sched (VirtualTimer,
+// LagReporter, FrameTranslator), discovered per shard at construction.
+// Policies lacking a capability still shard: migration candidates are then
+// ranked by a generic service-minus-entitlement lag (metrics.Lags) and frame
+// translation is skipped — see DESIGN.md §7.
 //
 // # Tenant model
 //
@@ -101,25 +109,36 @@ func Once(fn func()) Task {
 // Config.RebalanceEvery is zero.
 const DefaultRebalanceEvery = 100 * time.Millisecond
 
+// Policy constructs one dispatch shard's scheduler for the given processor
+// count. Each shard calls it exactly once at runtime construction and owns
+// the returned instance for its lifetime, so the factory must return a fresh
+// instance per call (shard locks do not protect state shared between
+// instances). The runtime probes each instance for the optional capability
+// interfaces of internal/sched (VirtualTimer, LagReporter, FrameTranslator)
+// to rank and translate cross-shard migrations and to export virtual times;
+// instances without them fall back to policy-agnostic equivalents.
+type Policy func(cpus int) sched.Scheduler
+
 // Config assembles a Runtime.
 type Config struct {
 	// Workers is the worker pool size — the number of "CPUs" the scheduler
 	// arbitrates. Required.
 	Workers int
 	// Shards splits dispatch into that many independent per-CPU runqueues,
-	// each with its own SFS instance, lock and contiguous worker block
-	// (Workers must be ≥ Shards). 0 or 1 keeps the single central runqueue
-	// whose lock serializes all scheduling, as the paper's kernel does.
+	// each with its own scheduler instance, lock and contiguous worker
+	// block (Workers must be ≥ Shards). 0 or 1 keeps the single central
+	// runqueue whose lock serializes all scheduling, as the paper's kernel
+	// does.
 	Shards int
-	// Scheduler makes the dispatch decisions. Defaults to an exact-mode
-	// internal/core SFS for Workers processors. A non-nil scheduler must be
-	// configured for exactly Workers CPUs and requires Shards ≤ 1 (shards
-	// build their own per-shard SFS instances). For two-level scheduling
-	// pass an internal/hier instance and assign tenant threads
-	// (Tenant.Thread) to classes before their first Submit.
-	Scheduler sched.Scheduler
-	// Quantum overrides the default schedulers' maximum quantum (ignored
-	// when Scheduler is non-nil; 0 keeps the paper's 200 ms default).
+	// Policy builds each shard's scheduler. Defaults to an exact-mode
+	// internal/core SFS with Config.Quantum. For two-level scheduling
+	// return an internal/hier instance and assign tenant threads
+	// (Tenant.Thread) to classes before their first Submit (single shard
+	// only: class assignment does not migrate).
+	Policy Policy
+	// Quantum overrides the default SFS policy's maximum quantum (ignored
+	// when Policy is non-nil — bake the quantum into the factory; 0 keeps
+	// the paper's 200 ms default).
 	Quantum simtime.Duration
 	// Clock supplies time for charging. Defaults to the monotonic wall
 	// clock; tests inject a FakeClock.
@@ -199,7 +218,8 @@ type Runtime struct {
 // New builds a runtime from cfg and, unless cfg.Manual is set, starts its
 // worker pool (and, with Shards > 1, the background rebalancer). It panics on
 // inconsistent static configuration (non-positive worker count, more shards
-// than workers, scheduler CPU mismatch); these are programmer errors.
+// than workers, policy CPU mismatch, a policy that recycles scheduler
+// instances across shards); these are programmer errors.
 func New(cfg Config) *Runtime {
 	if cfg.Workers < 1 {
 		panic(fmt.Sprintf("rt: invalid worker count %d", cfg.Workers))
@@ -211,12 +231,13 @@ func New(cfg Config) *Runtime {
 	if nshards > cfg.Workers {
 		panic(fmt.Sprintf("rt: %d shards but only %d workers", nshards, cfg.Workers))
 	}
-	if nshards > 1 && cfg.Scheduler != nil {
-		panic("rt: a custom scheduler requires Shards <= 1")
-	}
 	q := cfg.Quantum
 	if q <= 0 {
 		q = core.DefaultQuantum
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = func(cpus int) sched.Scheduler { return core.New(cpus, core.WithQuantum(q)) }
 	}
 	clock := cfg.Clock
 	if clock == nil {
@@ -235,19 +256,24 @@ func New(cfg Config) *Runtime {
 			count++
 		}
 		sh := &shard{r: r, id: i, workers: count, byThread: make(map[*sched.Thread]*Tenant)}
-		if cfg.Scheduler != nil {
-			sh.sch = cfg.Scheduler
-			if sfs, ok := cfg.Scheduler.(*core.SFS); ok {
-				sh.sfs = sfs
+		sh.sch = policy(count)
+		if sh.sch == nil {
+			panic(fmt.Sprintf("rt: Policy returned nil for shard %d", i))
+		}
+		for _, prev := range r.shards {
+			if prev.sch == sh.sch {
+				panic("rt: Policy must return a fresh scheduler instance per shard")
 			}
-		} else {
-			sfs := core.New(count, core.WithQuantum(q))
-			sh.sch, sh.sfs = sfs, sfs
 		}
 		if sh.sch.NumCPU() != count {
 			panic(fmt.Sprintf("rt: %d workers but scheduler configured for %d CPUs",
 				count, sh.sch.NumCPU()))
 		}
+		// Capability discovery: one assertion per shard, never again on the
+		// dispatch or rebalance paths.
+		sh.vt, _ = sh.sch.(sched.VirtualTimer)
+		sh.lag, _ = sh.sch.(sched.LagReporter)
+		sh.frame, _ = sh.sch.(sched.FrameTranslator)
 		sh.workCond = sync.NewCond(&sh.mu)
 		r.shards = append(r.shards, sh)
 		for local := 0; local < count; local++ {

@@ -14,6 +14,7 @@ import (
 	"sfsched/internal/core"
 	"sfsched/internal/hier"
 	"sfsched/internal/rt"
+	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
 )
 
@@ -315,7 +316,10 @@ func TestErrorsAndValidation(t *testing.T) {
 	}
 	mustPanic(t, "zero workers", func() { rt.New(rt.Config{Workers: 0}) })
 	mustPanic(t, "scheduler mismatch", func() {
-		rt.New(rt.Config{Workers: 2, Scheduler: core.New(4)})
+		rt.New(rt.Config{Workers: 2, Policy: func(int) sched.Scheduler { return core.New(4) }})
+	})
+	mustPanic(t, "nil scheduler from policy", func() {
+		rt.New(rt.Config{Workers: 2, Policy: func(int) sched.Scheduler { return nil }})
 	})
 }
 
@@ -339,7 +343,8 @@ func TestHierarchicalRuntime(t *testing.T) {
 	h := hier.New(2, 20*simtime.Millisecond)
 	gold := h.MustAddClass("gold", 3)
 	bronze := h.MustAddClass("bronze", 1)
-	r := rt.New(rt.Config{Workers: 2, Scheduler: h, Clock: clock, QueueCap: 4, Manual: true})
+	r := rt.New(rt.Config{Workers: 2, Policy: func(int) sched.Scheduler { return h },
+		Clock: clock, QueueCap: 4, Manual: true})
 	defer r.Close()
 	classes := []*hier.Class{gold, gold, bronze, bronze}
 	tenants := make([]*rt.Tenant, len(classes))

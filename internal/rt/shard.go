@@ -4,6 +4,10 @@
 // schedules its own tenants independently and the rebalancer (rebalance.go)
 // keeps the per-shard weight sums proportional to the per-shard processor
 // counts so the partitioned schedule tracks the single-queue one.
+//
+// A shard never names a concrete policy type: it drives sched.Scheduler and
+// keeps the optional capability views (vt, lag, frame) discovered once at
+// construction, nil when the policy does not provide them.
 
 package rt
 
@@ -11,7 +15,6 @@ import (
 	"fmt"
 	"sync"
 
-	"sfsched/internal/core"
 	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
 )
@@ -24,9 +27,14 @@ type shard struct {
 	// mu serializes all scheduling on this shard — the per-shard equivalent
 	// of the kernel run-queue lock. It guards every field below and every
 	// mutable field of the tenants currently assigned here.
-	mu       sync.Mutex
-	sch      sched.Scheduler
-	sfs      *core.SFS // non-nil when sch is a core scheduler (always for Shards > 1)
+	mu  sync.Mutex
+	sch sched.Scheduler
+	// Optional capability views of sch, nil when unimplemented: virtual
+	// time for metrics export, surplus reporting for migration ranking,
+	// frame translation for cross-shard moves.
+	vt       sched.VirtualTimer
+	lag      sched.LagReporter
+	frame    sched.FrameTranslator
 	byThread map[*sched.Thread]*Tenant
 	weight   float64          // Σ tenant weights: the shard's sub-share of the machine
 	queued   int              // queued tasks across this shard's tenants

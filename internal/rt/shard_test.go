@@ -14,6 +14,7 @@ import (
 	"sfsched/internal/core"
 	"sfsched/internal/metrics"
 	"sfsched/internal/rt"
+	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
 )
 
@@ -294,7 +295,14 @@ func TestShardedConfigValidation(t *testing.T) {
 	mustPanic(t, "more shards than workers", func() {
 		rt.New(rt.Config{Workers: 2, Shards: 4, Manual: true})
 	})
-	mustPanic(t, "custom scheduler with shards", func() {
-		rt.New(rt.Config{Workers: 4, Shards: 2, Scheduler: core.New(4), Manual: true})
+	mustPanic(t, "policy CPU mismatch per shard", func() {
+		// Each of the 2 shards owns 2 workers; a 4-CPU instance is wrong.
+		rt.New(rt.Config{Workers: 4, Shards: 2, Manual: true,
+			Policy: func(int) sched.Scheduler { return core.New(4) }})
+	})
+	mustPanic(t, "policy recycling one instance across shards", func() {
+		shared := core.New(2)
+		rt.New(rt.Config{Workers: 4, Shards: 2, Manual: true,
+			Policy: func(int) sched.Scheduler { return shared }})
 	})
 }

@@ -1,0 +1,53 @@
+// Optional capability interfaces: narrow views a Scheduler may additionally
+// implement. The sharded runtime (internal/rt) discovers them with one type
+// assertion per shard at construction and never names a concrete policy
+// type, so any Scheduler — SFS, SFQ, stride, BVT, hierarchical SFS, time
+// sharing, lottery — can be dispatched, rebalanced and reported on behind
+// per-CPU runqueues. A policy that lacks a capability still shards; the
+// runtime substitutes a policy-agnostic fallback (a service-minus-entitlement
+// lag rank for migration, a no-op frame translation) and degrades only the
+// quality of rebalancing decisions, never correctness.
+
+package sched
+
+// VirtualTimer reports the scheduler's current virtual time: the global
+// normalized-service frame its tags are measured against (v for the
+// fair-queueing family, the global pass for stride). Policies without a
+// virtual-time notion (time sharing, lottery) simply do not implement it.
+type VirtualTimer interface {
+	// VirtualTime returns the current virtual time, in the policy's own
+	// tag units. It is monotone within one scheduler instance; values are
+	// not comparable across instances (see FrameTranslator).
+	VirtualTime() float64
+}
+
+// LagReporter ranks threads for cross-shard migration: FreshSurplus returns
+// how far ahead of its ideal proportional allocation the thread currently
+// is, in the policy's tag units (SFS's α_i = φ_i·(S_i − v), or an analogue).
+// Larger is "more ahead"; the rebalancer prefers to migrate high-surplus
+// threads because the wakeup-style re-entry on the destination shard costs
+// them the least. Only relative order within one scheduler instance matters.
+type LagReporter interface {
+	// FreshSurplus returns t's surplus against the scheduler's current
+	// virtual time. t must be in the scheduler's runnable set.
+	FreshSurplus(t *Thread) float64
+}
+
+// FrameTranslator carries a thread's virtual-time position across scheduler
+// instances, the cross-shard migration hook: tag frames are per-instance
+// (each shard's virtual time advances at its own pace), so a migrating
+// thread's tags must be re-expressed relative to the destination's frame or
+// it would arrive arbitrarily far in the past (banking credit) or future
+// (starving). FrameLead captures the thread's position relative to the
+// source's frame; SetFrameLead re-creates that position relative to the
+// destination's. Both are called with the thread outside any runnable set
+// (the migration removes it first and re-adds it after).
+type FrameTranslator interface {
+	// FrameLead returns how far the thread's tag sits ahead of this
+	// scheduler's current virtual time, in tag units.
+	FrameLead(t *Thread) float64
+	// SetFrameLead rewrites the thread's tag to sit lead ahead of this
+	// scheduler's current virtual time, so a subsequent Add re-admits it
+	// with the same relative position it held on the source scheduler.
+	SetFrameLead(t *Thread, lead float64)
+}

@@ -106,8 +106,30 @@ func (s *SFQ) NumCPU() int { return s.p }
 // Runnable implements sched.Scheduler.
 func (s *SFQ) Runnable() int { return s.byStart.Len() }
 
-// VirtualTime returns the current virtual time (minimum start tag).
+// SFQ implements the full capability set the sharded runtime can exploit.
+var (
+	_ sched.Scheduler       = (*SFQ)(nil)
+	_ sched.VirtualTimer    = (*SFQ)(nil)
+	_ sched.LagReporter     = (*SFQ)(nil)
+	_ sched.FrameTranslator = (*SFQ)(nil)
+)
+
+// VirtualTime implements sched.VirtualTimer (minimum start tag).
 func (s *SFQ) VirtualTime() float64 { return s.v }
+
+// FreshSurplus implements sched.LagReporter with the SFS surplus analogue
+// φ_i·(S_i − v): SFQ keeps no surplus of its own, but the same figure ranks
+// its threads by how far ahead of the proportional ideal they sit.
+func (s *SFQ) FreshSurplus(t *sched.Thread) float64 { return t.Phi * (t.Start - s.v) }
+
+// FrameLead implements sched.FrameTranslator: the lead of t's finish tag
+// over the virtual time.
+func (s *SFQ) FrameLead(t *sched.Thread) float64 { return t.Finish - s.v }
+
+// SetFrameLead implements sched.FrameTranslator: re-bases t's finish tag to
+// sit lead ahead of this instance's virtual time, so the wakeup rule
+// S_i = max(F_i, v) re-admits a migrated thread at its old relative position.
+func (s *SFQ) SetFrameLead(t *sched.Thread, lead float64) { t.Finish = s.v + lead }
 
 // Add implements sched.Scheduler: arrivals receive S_i = v, wakeups
 // S_i = max(F_i, v).

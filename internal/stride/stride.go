@@ -86,6 +86,35 @@ func (s *Stride) NumCPU() int { return s.p }
 // Runnable implements sched.Scheduler.
 func (s *Stride) Runnable() int { return s.byPass.Len() }
 
+// Stride implements the full capability set the sharded runtime can exploit.
+var (
+	_ sched.Scheduler       = (*Stride)(nil)
+	_ sched.VirtualTimer    = (*Stride)(nil)
+	_ sched.LagReporter     = (*Stride)(nil)
+	_ sched.FrameTranslator = (*Stride)(nil)
+)
+
+// VirtualTime implements sched.VirtualTimer: the global pass, stride
+// scheduling's normalized-service frame (minimum pass in the system).
+func (s *Stride) VirtualTime() float64 { return s.globalPass }
+
+// FreshSurplus implements sched.LagReporter with the SFS surplus analogue
+// φ_i·(pass_i − globalPass): how far ahead of the proportional ideal the
+// thread's pass value sits.
+func (s *Stride) FreshSurplus(t *sched.Thread) float64 {
+	return t.Phi * (t.Pass - s.globalPass)
+}
+
+// FrameLead implements sched.FrameTranslator: the lead of t's pass over the
+// global pass.
+func (s *Stride) FrameLead(t *sched.Thread) float64 { return t.Pass - s.globalPass }
+
+// SetFrameLead implements sched.FrameTranslator: re-bases t's pass to sit
+// lead ahead of this instance's global pass; Add's joining rule
+// pass = max(pass, globalPass) then re-admits the thread at its old
+// relative position.
+func (s *Stride) SetFrameLead(t *sched.Thread, lead float64) { t.Pass = s.globalPass + lead }
+
 // Add implements sched.Scheduler: a joining thread starts at the global
 // pass.
 func (s *Stride) Add(t *sched.Thread, now simtime.Time) error {

@@ -23,6 +23,9 @@
 package sfsched
 
 import (
+	"fmt"
+	"strings"
+
 	"sfsched/internal/bvt"
 	"sfsched/internal/core"
 	"sfsched/internal/gms"
@@ -156,13 +159,17 @@ func NewHierarchical(p int, quantum Duration) *Hier { return hier.New(p, quantum
 func NewMachine(cfg MachineConfig) *Machine { return machine.New(cfg) }
 
 // Concurrent wall-clock runtime (sfsrt): worker goroutines execute real
-// submitted tasks with SFS arbitrating measured CPU time between weighted
-// tenants. See examples/fairserver and DESIGN.md §5.
+// submitted tasks with a scheduling policy — SFS by default, any policy via
+// RuntimeConfig.Policy — arbitrating measured CPU time between weighted
+// tenants. See examples/fairserver and DESIGN.md §5–§7.
 type (
 	// Runtime is the concurrent wall-clock scheduling runtime.
 	Runtime = rt.Runtime
 	// RuntimeConfig assembles a Runtime.
 	RuntimeConfig = rt.Config
+	// RuntimePolicy builds one dispatch shard's scheduler; see
+	// RuntimeConfig.Policy and PolicyByName.
+	RuntimePolicy = rt.Policy
 	// Tenant is a weighted principal submitting tasks to a Runtime.
 	Tenant = rt.Tenant
 	// RuntimeTask is one unit of tenant work with cooperative timeslicing.
@@ -177,6 +184,50 @@ type (
 	// FakeClock is a manually advanced RuntimeClock for deterministic tests.
 	FakeClock = rt.FakeClock
 )
+
+// LivePolicies lists the scheduling policies PolicyByName constructs, each
+// runnable — and shardable — on the wall-clock runtime: the paper's SFS and
+// its two evaluation baselines (SFQ, timeshare) plus the related-work
+// schedulers and the hierarchical extension.
+func LivePolicies() []string {
+	return []string{"sfs", "sfq", "sfq+readjust", "timeshare", "stride", "bvt", "lottery", "hier"}
+}
+
+// PolicyByName returns the named scheduling policy as a RuntimePolicy for
+// RuntimeConfig.Policy. quantum bounds each dispatch's timeslice hint
+// (0 = the paper's 200 ms default; timeshare uses its own Linux 2.2 counter
+// quanta and ignores it). Every returned policy runs sharded; SFS, SFQ,
+// stride, BVT and hier carry full capability support (virtual time,
+// surplus-ranked migration, frame translation), while timeshare and lottery
+// shard through the runtime's generic lag fallback (DESIGN.md §7).
+func PolicyByName(name string, quantum Duration) (RuntimePolicy, error) {
+	if quantum <= 0 {
+		quantum = core.DefaultQuantum
+	}
+	switch name {
+	case "", "sfs":
+		return func(cpus int) Scheduler { return core.New(cpus, core.WithQuantum(quantum)) }, nil
+	case "sfq":
+		return func(cpus int) Scheduler { return sfq.New(cpus, sfq.WithQuantum(quantum)) }, nil
+	case "sfq+readjust":
+		return func(cpus int) Scheduler {
+			return sfq.New(cpus, sfq.WithQuantum(quantum), sfq.WithReadjustment())
+		}, nil
+	case "timeshare":
+		return func(cpus int) Scheduler { return timeshare.New(cpus) }, nil
+	case "stride":
+		return func(cpus int) Scheduler { return stride.New(cpus, stride.WithQuantum(quantum)) }, nil
+	case "bvt":
+		return func(cpus int) Scheduler { return bvt.New(cpus, bvt.WithQuantum(quantum)) }, nil
+	case "lottery":
+		return func(cpus int) Scheduler { return lottery.New(cpus, lottery.WithQuantum(quantum)) }, nil
+	case "hier":
+		return func(cpus int) Scheduler { return hier.New(cpus, quantum) }, nil
+	default:
+		return nil, fmt.Errorf("sfsched: unknown policy %q (have %s)",
+			name, strings.Join(LivePolicies(), ", "))
+	}
+}
 
 // Runtime tenant-API errors.
 var (
@@ -193,7 +244,9 @@ var (
 
 // NewRuntime builds a wall-clock runtime and starts its worker pool; set
 // RuntimeConfig.Shards > 1 for sharded per-CPU dispatch with background
-// weight rebalancing (see internal/rt and DESIGN.md §6).
+// weight rebalancing, and RuntimeConfig.Policy (e.g. via PolicyByName) to
+// dispatch with a policy other than SFS (see internal/rt and DESIGN.md
+// §6–§7).
 func NewRuntime(cfg RuntimeConfig) *Runtime { return rt.New(cfg) }
 
 // NewFakeClock returns a manually advanced clock at time 0.

@@ -1,8 +1,9 @@
-// Build-and-run smoke tests for every binary in the repository: the five
-// example programs and cmd/paperbench. Each runs end-to-end (tiny iteration
-// counts where the binary accepts them) so CI exercises the full wiring —
-// facade, machine, workloads, experiments, CSV output — not just the library
-// packages.
+// Build-and-run smoke tests for every binary in the repository: the example
+// programs (fairserver once per live scheduling policy), cmd/paperbench and
+// cmd/livecmp. Each runs end-to-end (tiny iteration counts where the binary
+// accepts them) so CI exercises the full wiring — facade, machine,
+// workloads, experiments, policy factories, CSV output — not just the
+// library packages.
 package sfsched_test
 
 import (
@@ -11,6 +12,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sfsched"
 )
 
 // runBinary executes `go run ./<pkg> args...` from the repository root and
@@ -49,6 +52,57 @@ func TestExamplesSmoke(t *testing.T) {
 				t.Fatalf("output missing %q:\n%s", c.want, out)
 			}
 		})
+	}
+}
+
+// TestFairserverPolicySmoke runs examples/fairserver under every live policy
+// PolicyByName constructs: each must serve the weighted load end to end —
+// sharded dispatch included — and report its scheduler name in the per-shard
+// table plus a final Jain line.
+func TestFairserverPolicySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests skipped in -short mode")
+	}
+	for _, policy := range sfsched.LivePolicies() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			out := runBinary(t, "examples/fairserver",
+				"-policy", policy, "-duration", "150ms", "-per-tier", "2")
+			low := strings.ToLower(out)
+			if !strings.Contains(low, "jain") {
+				t.Fatalf("output missing jain line:\n%s", out)
+			}
+			if !strings.Contains(low, "policy "+policy) {
+				t.Fatalf("output does not name policy %q:\n%s", policy, out)
+			}
+		})
+	}
+	t.Run("unknown-policy", func(t *testing.T) {
+		t.Parallel()
+		cmd := exec.Command("go", "run", "./examples/fairserver", "-policy", "fifo")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("unknown policy accepted:\n%s", out)
+		}
+		if !strings.Contains(string(out), "unknown policy") {
+			t.Fatalf("unhelpful error for unknown policy:\n%s", out)
+		}
+	})
+}
+
+// TestLivecmpSmoke runs the wall-clock cross-policy comparison end to end
+// and checks it reports one fairness row per requested policy.
+func TestLivecmpSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests skipped in -short mode")
+	}
+	out := runBinary(t, "cmd/livecmp",
+		"-policies", "sfs,timeshare", "-duration", "200ms", "-slice", "5ms", "-v")
+	for _, want := range []string{"SFS", "timeshare", "jain", "worst_err"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("livecmp output missing %q:\n%s", want, out)
+		}
 	}
 }
 
