@@ -8,11 +8,22 @@
 //
 //	go run ./cmd/livecmp [-policies sfs,sfq,timeshare] [-workers N] [-shards N]
 //	                     [-per-tier 2] [-duration 1s] [-slice 25ms] [-v]
+//	go run ./cmd/livecmp -latency [-hogs 8] [-policies sfs,bvt,timeshare] ...
 //
 // Any policy sfsched.PolicyByName knows (sfs, sfq, sfq+readjust, timeshare,
 // stride, bvt, lottery, hier) may appear in -policies; with -shards > 1 each
 // policy runs behind per-CPU runqueues with background weight rebalancing,
 // exercising the capability seam of internal/sched end to end.
+//
+// -latency switches from the fairness table to the Figure 6(c) reprise: an
+// interactive tenant (short burst, think, repeat) competes with -hogs
+// compute-bound tenants, and the table reports its wakeup→dispatch latency
+// quantiles — measured by the runtime's own per-tenant histograms — under
+// each policy with cooperative wakeup preemption armed and disarmed. The
+// expected shape is the paper's: preemption collapses interactive p95 to the
+// hogs' cooperative checkpoint granularity under SFS (and the other
+// fair-queueing policies), while time sharing, which implements no preemption
+// order, makes every wakeup wait out a running slice.
 package main
 
 import (
@@ -35,8 +46,14 @@ func main() {
 	shards := flag.Int("shards", 0, "dispatch shards per run (0 = 1, the central runqueue)")
 	perTier := flag.Int("per-tier", 2, "tenants per weight tier (tiers 4:3:2:1)")
 	duration := flag.Duration("duration", time.Second, "load duration per policy")
-	slice := flag.Duration("slice", 25*time.Millisecond, "per-dispatch CPU burn cap")
+	slice := flag.Duration("slice", 25*time.Millisecond,
+		"per-dispatch CPU burn cap (floored to 10ms in -latency mode: sub-tick hog chunks are invisible to timeshare's sampled accounting)")
 	verbose := flag.Bool("v", false, "also print per-tenant share tables")
+	latency := flag.Bool("latency", false,
+		"run the Figure 6(c) latency reprise (interactive vs hogs) instead of the fairness table")
+	hogs := flag.Int("hogs", 8, "background compute-bound tenants in -latency mode")
+	grant := flag.Duration("grant", time.Millisecond,
+		"hog cooperative preemption-check granularity in -latency mode")
 	flag.Parse()
 
 	cfg := experiments.LiveConfig{
@@ -64,6 +81,20 @@ func main() {
 	if len(factories) == 0 {
 		fmt.Fprintln(os.Stderr, "livecmp: no policies requested")
 		os.Exit(2)
+	}
+	if *latency {
+		fmt.Printf("livecmp: interactive latency vs %d hogs, %s for %v per cell (preempt on/off)\n",
+			*hogs, strings.Join(names, " vs "), *duration)
+		results := experiments.CrossPolicyLiveLatency(factories, experiments.LiveLatencyConfig{
+			Workers:  *workers,
+			Shards:   *shards,
+			Hogs:     *hogs,
+			Duration: *duration,
+			Grant:    *grant,
+			SliceCap: *slice,
+		})
+		fmt.Print(experiments.LatencyTable(results))
+		return
 	}
 	fmt.Printf("livecmp: %s for %v each (weighted tiers 4:3:2:1 x %d)\n",
 		strings.Join(names, " vs "), *duration, *perTier)

@@ -30,7 +30,7 @@ import (
 // and submitters contend like they would on a 16-CPU host (on smaller hosts
 // the OS timeslices the threads — the regime where a held central lock
 // stalls every peer).
-func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.RuntimePolicy) {
+func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.RuntimePolicy, preempt bool) {
 	const (
 		workers    = 16
 		submitters = 16
@@ -44,6 +44,7 @@ func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.Runtim
 		Quantum:        sfsched.Millisecond,
 		QueueCap:       2,
 		RebalanceEvery: -1, // static uniform tenants; isolate dispatch cost
+		Preempt:        preempt,
 	})
 	defer r.Close()
 	tenants := make([]*sfsched.Tenant, nTenants)
@@ -84,7 +85,24 @@ func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.Runtim
 func BenchmarkDispatchSharded(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d/workers=16", shards), func(b *testing.B) {
-			benchmarkDispatch(b, shards, 16384, nil)
+			benchmarkDispatch(b, shards, 16384, nil, false)
+		})
+	}
+}
+
+// BenchmarkDispatchPreempt measures the same contended pipeline with
+// cooperative wakeup preemption armed versus disarmed: every task completion
+// empties its tenant's tiny backlog, so the following submit is a wakeup
+// that walks the preemption path (rank the shard's running slices, compare
+// the woken tenant, possibly raise a flag) under the shard lock. The pair
+// quantifies the flag's hot-path cost — the latency accounting (two
+// histogram increments per dispatch) is in both sides — and -benchmem pins
+// that 0 allocs/op still holds with the preemption flag in the hot path
+// (TestDispatchHotPathZeroAlloc asserts the same deterministically).
+func BenchmarkDispatchPreempt(b *testing.B) {
+	for _, preempt := range []bool{false, true} {
+		b.Run(fmt.Sprintf("preempt=%v/shards=4/workers=16", preempt), func(b *testing.B) {
+			benchmarkDispatch(b, 4, 4096, nil, preempt)
 		})
 	}
 }
@@ -105,7 +123,7 @@ func BenchmarkDispatchPolicy(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("policy=%s/shards=4/workers=16", name), func(b *testing.B) {
-			benchmarkDispatch(b, 4, 4096, policy)
+			benchmarkDispatch(b, 4, 4096, policy, false)
 		})
 	}
 }

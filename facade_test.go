@@ -247,6 +247,79 @@ func TestFacadePolicyByName(t *testing.T) {
 	}
 }
 
+// TestFacadePreemption drives the wakeup-preemption surface through the
+// public facade under every Preempter-capable policy — SubmitPreemptible,
+// RuntimeConfig.Preempt, the Dispatched/SliceCtx flag, and the per-tenant
+// preemption and wake-latency stats — and checks the capability-less
+// policies never flag.
+func TestFacadePreemption(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		preempts bool
+	}{
+		{"sfs", true}, {"sfq", true}, {"stride", true}, {"bvt", true}, {"hier", true},
+		{"timeshare", false}, {"lottery", false},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			policy, err := sfsched.PolicyByName(tc.name, 10*sfsched.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clock := sfsched.NewFakeClock()
+			r := sfsched.NewRuntime(sfsched.RuntimeConfig{
+				Workers: 1, Policy: policy, Clock: clock, Manual: true, Preempt: true,
+			})
+			defer r.Close()
+			hog, err := r.Register("hog", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interact, err := r.Register("interact", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var task sfsched.PreemptibleTask = func(ctx sfsched.SliceCtx) bool { return false }
+			if err := hog.SubmitPreemptible(task); err != nil {
+				t.Fatal(err)
+			}
+			d := r.Dispatch(0)
+			if d == nil || d.Tenant() != hog {
+				t.Fatal("hog not dispatched")
+			}
+			clock.Advance(2 * sfsched.Millisecond)
+			if err := interact.Submit(sfsched.RunOnce(func() {})); err != nil {
+				t.Fatal(err)
+			}
+			if got := d.Preempted(); got != tc.preempts {
+				t.Fatalf("Preempted() = %v under %s, want %v", got, tc.name, tc.preempts)
+			}
+			clock.Advance(sfsched.Millisecond)
+			d.Complete(false)
+			stats := r.Stats()
+			for _, s := range stats {
+				switch s.Name {
+				case "hog":
+					want := int64(0)
+					if tc.preempts {
+						want = 1
+					}
+					if s.Preemptions != want {
+						t.Errorf("hog preemptions %d, want %d", s.Preemptions, want)
+					}
+					if s.Dispatch.Count == 0 {
+						t.Error("hog dispatch latency never recorded")
+					}
+				case "interact":
+					if s.Preemptions != 0 {
+						t.Errorf("interact flagged %d times", s.Preemptions)
+					}
+				}
+			}
+		})
+	}
+}
+
 // hooksFor adapts a GMS fluid to machine hooks (what experiments.AttachGMS
 // does internally; spelled out here against the public API).
 func hooksFor(f *sfsched.GMS) sfsched.Hooks {

@@ -98,6 +98,7 @@ var (
 	_ sched.VirtualTimer    = (*BVT)(nil)
 	_ sched.LagReporter     = (*BVT)(nil)
 	_ sched.FrameTranslator = (*BVT)(nil)
+	_ sched.Preempter       = (*BVT)(nil)
 )
 
 // VirtualTime implements sched.VirtualTimer: the scheduler virtual time
@@ -209,6 +210,16 @@ func (b *BVT) Pick(cpu int, now simtime.Time) *sched.Thread {
 // Less implements sched.Scheduler: smaller effective virtual time wins.
 func (b *BVT) Less(x, y *sched.Thread) bool {
 	return x.Start-x.Warp < y.Start-y.Warp
+}
+
+// PreemptRank implements sched.Preempter with the warp-aware effective
+// virtual time E_i = A_i − warp_i, A_i projected forward by ran of uncharged
+// service. The warp participates — it is exactly BVT's dispatch-latency
+// advantage, so a warped interactive thread preempts earlier — unlike
+// FreshSurplus, where the warp is excluded because migration ranking measures
+// banked service, not latency credit.
+func (b *BVT) PreemptRank(t *sched.Thread, ran simtime.Duration) float64 {
+	return t.Start + ran.Seconds()/t.Phi - t.Warp
 }
 
 // Threads returns the runnable threads in effective-virtual-time order.

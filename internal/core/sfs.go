@@ -240,6 +240,7 @@ var (
 	_ sched.VirtualTimer    = (*SFS)(nil)
 	_ sched.LagReporter     = (*SFS)(nil)
 	_ sched.FrameTranslator = (*SFS)(nil)
+	_ sched.Preempter       = (*SFS)(nil)
 )
 
 // Name implements sched.Scheduler.
@@ -779,6 +780,16 @@ func (s *SFS) ExactMinSurplus() (*sched.Thread, float64) {
 // preferred. The machine uses this for wakeup preemption.
 func (s *SFS) Less(a, b *sched.Thread) bool {
 	return a.Phi*(a.Start-s.v) < b.Phi*(b.Start-s.v)
+}
+
+// PreemptRank implements sched.Preempter: t's surplus α_i = φ_i·(S_i − v)
+// projected forward by ran of uncharged service. Charging ran advances S_i by
+// ran/φ_i, so the projected surplus is the fresh surplus plus ran seconds —
+// the projection is exact in float arithmetic and an advisory approximation
+// in fixed-point mode (the comparison steers only preemption flags, never tag
+// state, so decision traces stay bit-identical).
+func (s *SFS) PreemptRank(t *sched.Thread, ran simtime.Duration) float64 {
+	return t.Phi*(t.Start-s.v) + ran.Seconds()
 }
 
 // Threads returns the runnable threads in ascending start-tag order (tests

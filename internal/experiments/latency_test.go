@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sfsched/internal/core"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+// TestRunLiveLatencySmoke drives the wall-clock Figure 6(c) workload briefly
+// under SFS with preemption armed: the interactive tenant must record wakes
+// through the runtime's histogram and the hogs must take preemption flags.
+// Quantile magnitudes are asserted only loosely — CI machines vary — the
+// deterministic bounds live in internal/rt/preempt_test.go.
+func TestRunLiveLatencySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock spin workload skipped in -short mode")
+	}
+	policy := func(cpus int) sched.Scheduler {
+		return core.New(cpus, core.WithQuantum(10*simtime.Millisecond))
+	}
+	res := RunLiveLatency(policy, LiveLatencyConfig{
+		Workers:  2,
+		Hogs:     3,
+		Duration: 300 * time.Millisecond,
+		Grant:    500 * time.Microsecond,
+		SliceCap: 5 * time.Millisecond,
+		Preempt:  true,
+	})
+	if res.Policy != "SFS" {
+		t.Errorf("policy %q, want SFS", res.Policy)
+	}
+	if !res.Preempt || res.Hogs != 3 {
+		t.Errorf("config echo wrong: %+v", res)
+	}
+	if res.Wakes == 0 {
+		t.Error("interactive tenant recorded no wakes")
+	}
+	if res.Preemptions == 0 {
+		t.Error("no preemption flags raised despite full load and Preempter policy")
+	}
+	if res.P95 < res.P50 || res.Max < res.P95 {
+		t.Errorf("quantiles not ordered: p50 %v, p95 %v, max %v", res.P50, res.P95, res.Max)
+	}
+}
+
+// TestLatencyTable pins the renderer on synthetic results.
+func TestLatencyTable(t *testing.T) {
+	out := LatencyTable([]LiveLatencyResult{
+		{Policy: "SFS", Preempt: true, Hogs: 8, Wakes: 100,
+			P50: time.Millisecond, P95: 2 * time.Millisecond,
+			P99: 3 * time.Millisecond, Max: 4 * time.Millisecond, Preemptions: 42},
+		{Policy: "timeshare", Preempt: false, Hogs: 8, Wakes: 20,
+			P50: 90 * time.Millisecond, P95: 180 * time.Millisecond,
+			P99: 190 * time.Millisecond, Max: 200 * time.Millisecond},
+	})
+	for _, want := range []string{"SFS", "timeshare", "on", "off", "2.00", "180.00", "42", "p95_ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

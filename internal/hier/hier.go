@@ -204,6 +204,7 @@ var (
 	_ sched.VirtualTimer    = (*Hier)(nil)
 	_ sched.LagReporter     = (*Hier)(nil)
 	_ sched.FrameTranslator = (*Hier)(nil)
+	_ sched.Preempter       = (*Hier)(nil)
 )
 
 // VirtualTime implements sched.VirtualTimer (minimum start tag over runnable
@@ -381,6 +382,13 @@ func (h *Hier) Pick(cpu int, now simtime.Time) *sched.Thread {
 // Less implements sched.Scheduler for wakeup preemption.
 func (h *Hier) Less(a, b *sched.Thread) bool {
 	return a.Phi*(a.Start-h.v) < b.Phi*(b.Start-h.v)
+}
+
+// PreemptRank implements sched.Preempter: the hierarchical surplus
+// φ_i·(S_i − v) projected forward by ran of uncharged service (charging ran
+// advances S_i by ran/φ_i, so the projected surplus grows by ran seconds).
+func (h *Hier) PreemptRank(t *sched.Thread, ran simtime.Duration) float64 {
+	return t.Phi*(t.Start-h.v) + ran.Seconds()
 }
 
 // readjust recomputes runnable threads' φ as their hierarchical GMS rates:

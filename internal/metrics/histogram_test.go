@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sfsched/internal/simtime"
+)
+
+// TestHistogramBucketGeometry checks the bucket map and its inverse: every
+// value lands in a bucket whose upper edge is ≥ the value and within the
+// documented 25% relative error.
+func TestHistogramBucketGeometry(t *testing.T) {
+	check := func(v uint64) {
+		t.Helper()
+		idx := histBucket(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("value %d maps to bucket %d out of range", v, idx)
+		}
+		up := histUpper(idx)
+		if up < v {
+			t.Fatalf("value %d in bucket %d with upper edge %d < value", v, idx, up)
+		}
+		if v >= histLinear && float64(up-v) > 0.25*float64(v) {
+			t.Fatalf("value %d bucket upper edge %d overestimates by more than 25%%", v, up)
+		}
+		// Upper edges are the largest member of their bucket.
+		if histBucket(up) != idx {
+			t.Fatalf("upper edge %d of bucket %d maps to bucket %d", up, idx, histBucket(up))
+		}
+		if up < math.MaxUint64 && histBucket(up+1) == idx {
+			t.Fatalf("bucket %d also holds %d beyond its upper edge %d", idx, up+1, up)
+		}
+	}
+	for v := uint64(0); v < 4096; v++ {
+		check(v)
+	}
+	for e := 12; e < 64; e++ {
+		check(1 << e)
+		check(1<<e - 1)
+		check(1<<e + 1<<(e-1))
+	}
+	check(math.MaxUint64)
+	// Buckets are monotone: larger values never map to smaller buckets.
+	prev := -1
+	for e := 0; e < 64; e++ {
+		if b := histBucket(1 << e); b < prev {
+			t.Fatalf("bucket order broken at 2^%d: %d < %d", e, b, prev)
+		} else {
+			prev = b
+		}
+	}
+}
+
+// TestHistogramQuantile compares reported quantiles against exact ones on a
+// random sample: never below, and within the 25% relative bound.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	rng := rand.New(rand.NewSource(7))
+	var samples []uint64
+	for i := 0; i < 20000; i++ {
+		v := uint64(rng.ExpFloat64() * 50000) // long-tailed, like latencies
+		samples = append(samples, v)
+		h.Record(simtime.Duration(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if h.Count() != uint64(len(samples)) {
+		t.Fatalf("count %d, want %d", h.Count(), len(samples))
+	}
+	if uint64(h.Max()) != samples[len(samples)-1] {
+		t.Fatalf("max %d, want %d", h.Max(), samples[len(samples)-1])
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		idx := int(math.Ceil(q*float64(len(samples)))) - 1
+		exact := samples[idx]
+		got := uint64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("q=%g: reported %d below exact %d", q, got, exact)
+		}
+		if exact >= histLinear && float64(got-exact) > 0.25*float64(exact) {
+			t.Errorf("q=%g: reported %d overestimates exact %d by more than 25%%", q, got, exact)
+		}
+	}
+}
+
+// TestHistogramMergeReset: merging equals recording the union; reset empties.
+func TestHistogramMergeReset(t *testing.T) {
+	var a, b, both Histogram
+	for i := 0; i < 1000; i++ {
+		a.Record(simtime.Duration(i))
+		both.Record(simtime.Duration(i))
+	}
+	for i := 1000; i < 1500; i++ {
+		b.Record(simtime.Duration(i * 17))
+		both.Record(simtime.Duration(i * 17))
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Max() != both.Max() {
+		t.Fatalf("merge count/max %d/%v, want %d/%v", a.Count(), a.Max(), both.Count(), both.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("merge q=%g: %v, want %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Quantile(0.5) != 0 {
+		t.Fatal("reset did not empty the histogram")
+	}
+	// Negative samples clamp to zero rather than corrupting a bucket.
+	a.Record(-5)
+	if a.Count() != 1 || a.Quantile(1) != 0 {
+		t.Fatalf("negative sample mishandled: count %d, q1 %v", a.Count(), a.Quantile(1))
+	}
+}
+
+// TestHistogramRecordAllocationFree pins the hot-path guarantee the dispatch
+// benchmarks rely on: Record and Quantile allocate nothing.
+func TestHistogramRecordAllocationFree(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Record(12345 * simtime.Microsecond)
+		_ = h.Quantile(0.95)
+	}); n != 0 {
+		t.Fatalf("Record/Quantile allocate %.1f times per call, want 0", n)
+	}
+}

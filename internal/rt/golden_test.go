@@ -113,8 +113,12 @@ func (h *driverQueue) Pop() any {
 }
 
 // runtimeTrace replays the same scripts through the runtime in Manual mode
-// with a fake clock, returning the charge sequence and final services.
-func runtimeTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScript, horizon simtime.Time) ([]chargeEvent, map[int]simtime.Duration) {
+// with a fake clock, returning the charge sequence and final services. With
+// preempt set, cooperative wakeup preemption is armed: wakeups raise flags on
+// running slices, but this driver's modelled tasks never poll them — pinning
+// that flag raising alone (the Add/Pick/Charge pipeline with the preemption
+// hook in place) leaves the decision trace untouched.
+func runtimeTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScript, horizon simtime.Time, preempt bool) ([]chargeEvent, map[int]simtime.Duration) {
 	t.Helper()
 	clock := rt.NewFakeClock()
 	r := rt.New(rt.Config{
@@ -123,6 +127,7 @@ func runtimeTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScrip
 		Clock:    clock,
 		Manual:   true,
 		QueueCap: 4,
+		Preempt:  preempt,
 	})
 	type tstate struct {
 		tn  *rt.Tenant
@@ -301,33 +306,41 @@ func goldenScenarios() []struct {
 
 // TestGoldenRuntimeVsMachine pins the runtime's decision pipeline to the
 // simulated machine's: identical charge traces and identical final service,
-// microsecond for microsecond.
+// microsecond for microsecond. Each scenario runs twice, with wakeup
+// preemption disarmed and armed: preemption is cooperative, so raised flags
+// that no task acts on must leave the SFS golden trace bit-identical.
 func TestGoldenRuntimeVsMachine(t *testing.T) {
 	for _, sc := range goldenScenarios() {
-		t.Run(sc.name, func(t *testing.T) {
-			mc, ms := machineTrace(t, sc.cpus, sc.quantum, sc.scripts, sc.horizon)
-			rc, rs := runtimeTrace(t, sc.cpus, sc.quantum, sc.scripts, sc.horizon)
-			if len(mc) < 100 {
-				t.Fatalf("degenerate scenario: only %d charges", len(mc))
+		for _, preempt := range []bool{false, true} {
+			name := sc.name
+			if preempt {
+				name += "/preempt-armed"
 			}
-			n := len(mc)
-			if len(rc) < n {
-				n = len(rc)
-			}
-			for i := 0; i < n; i++ {
-				if mc[i] != rc[i] {
-					t.Fatalf("traces diverge at charge %d: machine %+v, runtime %+v",
-						i, mc[i], rc[i])
+			t.Run(name, func(t *testing.T) {
+				mc, ms := machineTrace(t, sc.cpus, sc.quantum, sc.scripts, sc.horizon)
+				rc, rs := runtimeTrace(t, sc.cpus, sc.quantum, sc.scripts, sc.horizon, preempt)
+				if len(mc) < 100 {
+					t.Fatalf("degenerate scenario: only %d charges", len(mc))
 				}
-			}
-			if len(mc) != len(rc) {
-				t.Fatalf("charge counts differ: machine %d, runtime %d", len(mc), len(rc))
-			}
-			for id, want := range ms {
-				if got := rs[id]; got != want {
-					t.Fatalf("service of thread %d: machine %v, runtime %v", id, want, got)
+				n := len(mc)
+				if len(rc) < n {
+					n = len(rc)
 				}
-			}
-		})
+				for i := 0; i < n; i++ {
+					if mc[i] != rc[i] {
+						t.Fatalf("traces diverge at charge %d: machine %+v, runtime %+v",
+							i, mc[i], rc[i])
+					}
+				}
+				if len(mc) != len(rc) {
+					t.Fatalf("charge counts differ: machine %d, runtime %d", len(mc), len(rc))
+				}
+				for id, want := range ms {
+					if got := rs[id]; got != want {
+						t.Fatalf("service of thread %d: machine %v, runtime %v", id, want, got)
+					}
+				}
+			})
+		}
 	}
 }

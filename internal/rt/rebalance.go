@@ -276,6 +276,13 @@ type ShardStat struct {
 	Share       float64          // fraction of all charged time delivered by this shard
 	Jain        float64          // Jain index of per-weight service among the shard's current tenants
 	MaxLag      simtime.Duration
+	// Preemptions counts the cooperative preemption flags raised on this
+	// shard's slices; Dispatch and Wake are the shard-level ready→dispatch
+	// and wakeup→first-dispatch latency distributions (recorded where the
+	// dispatch happened, so they stay with the shard when tenants migrate).
+	Preemptions int64
+	Dispatch    LatencyStat
+	Wake        LatencyStat
 }
 
 // ShardStats returns per-shard statistics in shard order. Lags are computed
@@ -299,6 +306,9 @@ func (r *Runtime) ShardStats() []ShardStat {
 		st.Weight = sh.weight
 		st.Service = sh.service
 		st.Jain = 1
+		st.Preemptions = sh.preempts
+		st.Dispatch = latencyStatOf(&sh.waitHist)
+		st.Wake = latencyStatOf(&sh.wakeHist)
 		if sh.vt != nil {
 			st.VirtualTime = sh.vt.VirtualTime()
 		}

@@ -105,6 +105,38 @@ func Once(fn func()) Task {
 	}
 }
 
+// PreemptibleTask is a Task variant that receives a SliceCtx instead of a
+// bare timeslice hint, so it can observe cooperative preemption: a
+// well-behaved long-running task polls ctx.Preempted() at its natural
+// checkpoint granularity and returns early (done=false) when the shard has
+// asked for its processor back. Unfinished work stays at the backlog head and
+// continues on a later dispatch, exactly as with Task; ignoring the flag
+// costs only dispatch latency (the task still runs out its slice), never
+// fairness. Submit with SubmitPreemptible/TrySubmitPreemptible.
+type PreemptibleTask func(ctx SliceCtx) (done bool)
+
+// SliceCtx is a running task's view of its in-flight slice. It is valid only
+// for the duration of the task invocation it was passed to; retaining it
+// after returning reads a later slice's state.
+type SliceCtx struct {
+	d *Dispatched
+}
+
+// Slice returns the granted timeslice hint.
+func (c SliceCtx) Slice() simtime.Duration { return c.d.slice }
+
+// Preempted reports whether the shard has raised the cooperative preemption
+// flag on this slice: a newly woken tenant out-ranks this one right now, and
+// the task should return at its next checkpoint (reporting done=false if its
+// work is unfinished). The flag stays raised until the slice completes.
+func (c SliceCtx) Preempted() bool { return c.d.Preempted() }
+
+// queued is one backlog entry: exactly one of the two task forms is set.
+type queued struct {
+	run Task
+	pre PreemptibleTask
+}
+
 // DefaultRebalanceEvery is the background rebalancer's period when
 // Config.RebalanceEvery is zero.
 const DefaultRebalanceEvery = 100 * time.Millisecond
@@ -149,6 +181,15 @@ type Config struct {
 	// caller drives Dispatch, Dispatched.Complete and Rebalance directly
 	// (deterministic tests).
 	Manual bool
+	// Preempt enables cooperative wakeup preemption: when a tenant wakes on
+	// a shard whose workers are all busy and the shard's policy implements
+	// sched.Preempter, the worst-ranked running slice is flagged for
+	// preemption (SliceCtx.Preempted) so a cooperating task yields its
+	// processor early and the woken tenant dispatches without waiting out a
+	// full slice — the runtime's rendering of the kernel's reschedule_idle
+	// path (DESIGN.md §8). Flag raising is deterministic in Manual mode.
+	// Policies without the capability (time sharing, lottery) never flag.
+	Preempt bool
 	// RebalanceEvery is the period of the background shard rebalancer
 	// (concurrent mode with Shards > 1 only). 0 means
 	// DefaultRebalanceEvery; negative disables the background rebalancer
@@ -170,14 +211,28 @@ type Tenant struct {
 
 	// Ring buffer of pending tasks; buf[head] is the in-progress task while
 	// the tenant is running.
-	buf  []Task
+	buf  []queued
 	head int
 	n    int
 
-	waiters int  // submitters blocked in notFull.Wait (pins the shard)
-	inSched bool // thread currently in its shard scheduler's runnable set
-	closing bool // Unregister called; drains in-flight work, drops backlog
-	gone    bool // fully unregistered
+	waiters     int  // submitters blocked in notFull.Wait (pins the shard)
+	inSched     bool // thread currently in its shard scheduler's runnable set
+	closing     bool // Unregister called; drains in-flight work, drops backlog
+	gone        bool // fully unregistered
+	headStarted bool // buf[head] has been dispatched at least once
+
+	// Latency accounting (shard lock): readyAt is when the tenant last
+	// became dispatchable (woke, or completed a slice with work left);
+	// wokeAt is the wakeup Submit still awaiting its first dispatch.
+	readyAt     simtime.Time
+	wokeAt      simtime.Time
+	wokePending bool
+	waitHist    metrics.Histogram // ready→dispatch, every dispatch
+	wakeHist    metrics.Histogram // wakeup Submit→first dispatch
+
+	preempts int64        // slices of this tenant flagged for preemption (shard lock)
+	resumes  int64        // continuation dispatches of unfinished tasks (shard lock)
+	panics   atomic.Int64 // panicking tasks attributed to this tenant
 
 	notFull *sync.Cond // Submit waits here under backpressure
 }
@@ -192,9 +247,16 @@ type Runtime struct {
 	workerShard []*shard     // global worker index → owning shard
 	workerLocal []int        // global worker index → CPU index within the shard
 	dslots      []Dispatched // per-worker dispatch slot, reused across slices
-	clock       Clock
-	qcap        int
-	manual      bool
+	// preemptFlags holds the per-worker cooperative preemption flags, kept
+	// outside the Dispatched slots so the running task can poll its flag
+	// lock-free while the shard lock holder raises it. A flag is raised by
+	// a wakeup (maybePreemptLocked) and cleared by the worker's next
+	// dispatch.
+	preemptFlags []atomic.Bool
+	clock        Clock
+	qcap         int
+	manual       bool
+	preempt      bool
 
 	closed atomic.Bool
 
@@ -247,7 +309,7 @@ func New(cfg Config) *Runtime {
 	if qcap <= 0 {
 		qcap = 256
 	}
-	r := &Runtime{clock: clock, qcap: qcap, manual: cfg.Manual}
+	r := &Runtime{clock: clock, qcap: qcap, manual: cfg.Manual, preempt: cfg.Preempt}
 	r.quietCond = sync.NewCond(&r.quietMu)
 	base, extra := cfg.Workers/nshards, cfg.Workers%nshards
 	for i := 0; i < nshards; i++ {
@@ -255,7 +317,8 @@ func New(cfg Config) *Runtime {
 		if i < extra {
 			count++
 		}
-		sh := &shard{r: r, id: i, workers: count, byThread: make(map[*sched.Thread]*Tenant)}
+		sh := &shard{r: r, id: i, workers: count,
+			firstWorker: len(r.workerShard), byThread: make(map[*sched.Thread]*Tenant)}
 		sh.sch = policy(count)
 		if sh.sch == nil {
 			panic(fmt.Sprintf("rt: Policy returned nil for shard %d", i))
@@ -274,6 +337,7 @@ func New(cfg Config) *Runtime {
 		sh.vt, _ = sh.sch.(sched.VirtualTimer)
 		sh.lag, _ = sh.sch.(sched.LagReporter)
 		sh.frame, _ = sh.sch.(sched.FrameTranslator)
+		sh.pre, _ = sh.sch.(sched.Preempter)
 		sh.workCond = sync.NewCond(&sh.mu)
 		r.shards = append(r.shards, sh)
 		for local := 0; local < count; local++ {
@@ -282,6 +346,7 @@ func New(cfg Config) *Runtime {
 		}
 	}
 	r.dslots = make([]Dispatched, len(r.workerShard))
+	r.preemptFlags = make([]atomic.Bool, len(r.workerShard))
 	if !cfg.Manual {
 		for w := range r.workerShard {
 			r.wg.Add(1)
@@ -327,27 +392,58 @@ func (r *Runtime) Register(name string, weight float64) (*Tenant, error) {
 		CPU:     sched.NoCPU,
 		LastCPU: sched.NoCPU,
 	}
-	tn := &Tenant{r: r, th: th, buf: make([]Task, r.qcap)}
+	tn := &Tenant{r: r, th: th, buf: make([]queued, r.qcap)}
+	best := r.placeTenant(tn, weight)
+	best.mu.Unlock()
+	r.tenants = append(r.tenants, tn)
+	return tn, nil
+}
+
+// placeTenant binds a new tenant to the shard with the least weight per
+// processor and returns that shard still locked. The load scan releases each
+// shard's lock before moving on, so the choice can go stale — a concurrent
+// SetWeight, Unregister or migration may load the chosen shard up between the
+// scan and the placement (concurrent Registers themselves serialize on regMu,
+// but would otherwise all observe the same lightest shard through such a
+// window and stampede onto it). The choice is therefore re-validated under
+// the winner's lock: if its load has regressed past the scan's runner-up, the
+// scan re-runs, with a bounded retry count so a pathological interleaving
+// degrades to a slightly imbalanced placement instead of a livelock (the
+// rebalancer corrects it).
+func (r *Runtime) placeTenant(tn *Tenant, weight float64) *shard {
+	th := tn.th
 	best := r.shards[0]
 	if len(r.shards) > 1 {
-		bestLoad := 0.0
-		for i, sh := range r.shards {
-			sh.mu.Lock()
-			load := sh.weight / float64(sh.workers)
-			sh.mu.Unlock()
-			if i == 0 || load < bestLoad {
-				best, bestLoad = sh, load
+		const attempts = 4
+		for try := 0; ; try++ {
+			bestLoad, nextLoad := 0.0, 0.0
+			for i, sh := range r.shards {
+				sh.mu.Lock()
+				load := sh.weight / float64(sh.workers)
+				sh.mu.Unlock()
+				switch {
+				case i == 0:
+					best, bestLoad, nextLoad = sh, load, load
+				case load < bestLoad:
+					best, bestLoad, nextLoad = sh, load, bestLoad
+				case load < nextLoad || i == 1:
+					nextLoad = load
+				}
 			}
+			best.mu.Lock()
+			if try == attempts-1 || best.weight/float64(best.workers) <= nextLoad {
+				break
+			}
+			best.mu.Unlock() // the choice regressed past the runner-up; rescan
 		}
+	} else {
+		best.mu.Lock()
 	}
-	best.mu.Lock()
 	best.byThread[th] = tn
 	best.weight += weight
 	tn.notFull = sync.NewCond(&best.mu)
 	tn.sh.Store(best)
-	best.mu.Unlock()
-	r.tenants = append(r.tenants, tn)
-	return tn, nil
+	return best
 }
 
 // Unregister removes a tenant. Pending backlog tasks are dropped; an
@@ -445,6 +541,37 @@ func (tn *Tenant) Submit(task Task) error {
 	if task == nil {
 		panic("rt: nil task")
 	}
+	return tn.enqueue(queued{run: task})
+}
+
+// TrySubmit is Submit without blocking: a full backlog fails with
+// ErrBackpressure.
+func (tn *Tenant) TrySubmit(task Task) error {
+	if task == nil {
+		panic("rt: nil task")
+	}
+	return tn.tryEnqueue(queued{run: task})
+}
+
+// SubmitPreemptible is Submit for a PreemptibleTask: the task receives a
+// SliceCtx and is expected to poll Preempted() and yield cooperatively.
+func (tn *Tenant) SubmitPreemptible(task PreemptibleTask) error {
+	if task == nil {
+		panic("rt: nil task")
+	}
+	return tn.enqueue(queued{pre: task})
+}
+
+// TrySubmitPreemptible is SubmitPreemptible without blocking: a full backlog
+// fails with ErrBackpressure.
+func (tn *Tenant) TrySubmitPreemptible(task PreemptibleTask) error {
+	if task == nil {
+		panic("rt: nil task")
+	}
+	return tn.tryEnqueue(queued{pre: task})
+}
+
+func (tn *Tenant) enqueue(q queued) error {
 	sh := tn.lockShard()
 	defer sh.mu.Unlock()
 	for tn.n == len(tn.buf) && !tn.closing && !tn.r.closed.Load() {
@@ -454,24 +581,19 @@ func (tn *Tenant) Submit(task Task) error {
 		tn.notFull.Wait()
 		tn.waiters--
 	}
-	return tn.submitLocked(sh, task)
+	return tn.enqueueLocked(sh, q)
 }
 
-// TrySubmit is Submit without blocking: a full backlog fails with
-// ErrBackpressure.
-func (tn *Tenant) TrySubmit(task Task) error {
-	if task == nil {
-		panic("rt: nil task")
-	}
+func (tn *Tenant) tryEnqueue(q queued) error {
 	sh := tn.lockShard()
 	defer sh.mu.Unlock()
 	if tn.n == len(tn.buf) && !tn.closing && !tn.r.closed.Load() {
 		return ErrBackpressure
 	}
-	return tn.submitLocked(sh, task)
+	return tn.enqueueLocked(sh, q)
 }
 
-func (tn *Tenant) submitLocked(sh *shard, task Task) error {
+func (tn *Tenant) enqueueLocked(sh *shard, q queued) error {
 	r := tn.r
 	if r.closed.Load() {
 		return ErrRuntimeClosed
@@ -479,15 +601,20 @@ func (tn *Tenant) submitLocked(sh *shard, task Task) error {
 	if tn.closing || tn.gone {
 		return ErrTenantClosed
 	}
-	tn.buf[(tn.head+tn.n)%len(tn.buf)] = task
+	tn.buf[(tn.head+tn.n)%len(tn.buf)] = q
 	tn.n++
 	sh.queued++
 	r.gQueued.Add(1)
 	if !tn.inSched {
 		// Wakeup: S_i = max(F_i, v) via the scheduler's Add rule.
+		now := r.clock.Now()
 		tn.th.State = sched.Runnable
-		mustSched(sh.sch.Add(tn.th, r.clock.Now()))
+		mustSched(sh.sch.Add(tn.th, now))
 		tn.inSched = true
+		tn.readyAt = now
+		tn.wokeAt = now
+		tn.wokePending = true
+		sh.maybePreemptLocked(tn, now)
 	}
 	sh.workCond.Signal()
 	return nil
@@ -510,7 +637,7 @@ type Dispatched struct {
 	local    int // CPU index within the shard
 	start    simtime.Time
 	slice    simtime.Duration
-	task     Task
+	task     queued
 	inFlight bool // set by Dispatch, cleared by Complete
 }
 
@@ -522,6 +649,11 @@ func (d *Dispatched) Slice() simtime.Duration { return d.slice }
 
 // Worker returns the worker index the slice was dispatched to.
 func (d *Dispatched) Worker() int { return d.worker }
+
+// Preempted reports whether this slice carries a raised cooperative
+// preemption flag. Concurrent tasks read it through their SliceCtx; Manual
+// drivers read it directly to model a cooperating task deciding to yield.
+func (d *Dispatched) Preempted() bool { return d.r.preemptFlags[d.worker].Load() }
 
 // Dispatch asks the worker's shard scheduler for the next tenant to run and
 // marks it running, or returns nil when the shard has no runnable
@@ -557,7 +689,7 @@ func (d *Dispatched) Complete(done bool) simtime.Duration {
 		panic("rt: slice completed twice")
 	}
 	d.inFlight = false
-	d.task = nil // release the closure; the slot outlives the slice
+	d.task = queued{} // release the closure; the slot outlives the slice
 	now := r.clock.Now()
 	elapsed := now.Sub(d.start)
 	if elapsed < 0 {
@@ -590,6 +722,10 @@ func (d *Dispatched) Complete(done bool) simtime.Duration {
 			sh.finalizeLocked(tn)
 			finalized = true
 		}
+	} else if tn.inSched {
+		// Work remains: the tenant is dispatchable again from this instant,
+		// the anchor for its next ready→dispatch latency sample.
+		tn.readyAt = now
 	}
 	if done {
 		// A backlog slot was freed; one blocked submitter can proceed.
@@ -642,10 +778,14 @@ func (r *Runtime) runTask(d *Dispatched) (done bool) {
 	defer func() {
 		if e := recover(); e != nil {
 			r.taskPanics.Add(1)
-			done = true // drop the panicking task; the slice is still charged
+			d.tn.panics.Add(1) // attribute the panic to the misbehaving tenant
+			done = true        // drop the panicking task; the slice is still charged
 		}
 	}()
-	return d.task(d.slice)
+	if d.task.pre != nil {
+		return d.task.pre(SliceCtx{d: d})
+	}
+	return d.task.run(d.slice)
 }
 
 // decQueued retires n globally-queued tasks and wakes Drain when the last
@@ -693,6 +833,25 @@ func (r *Runtime) Close() {
 	r.wg.Wait()
 }
 
+// LatencyStat summarizes one latency distribution for metrics export.
+// Quantiles come from the log-bucketed metrics.Histogram and overestimate by
+// at most 25% (one sub-bucket).
+type LatencyStat struct {
+	Count         uint64
+	P50, P95, P99 simtime.Duration
+	Max           simtime.Duration
+}
+
+func latencyStatOf(h *metrics.Histogram) LatencyStat {
+	return LatencyStat{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
 // TenantStat is a point-in-time view of one tenant, for metrics export.
 type TenantStat struct {
 	Name    string
@@ -703,33 +862,58 @@ type TenantStat struct {
 	Lag     simtime.Duration // proportional ideal minus received (positive = behind)
 	Queued  int
 	Running bool
+	// Preemptions counts this tenant's slices flagged for cooperative
+	// preemption (a newly woken tenant out-ranked it); Resumes counts
+	// dispatches that continued an unfinished task — a preempted-and-resumed
+	// continuation is distinguishable from a fresh dispatch; TaskPanics
+	// counts this tenant's panicking tasks, so a misbehaving tenant is
+	// identifiable rather than drowned in the global counter.
+	Preemptions int64
+	Resumes     int64
+	TaskPanics  int64
+	// Dispatch is the ready→dispatch latency distribution: every interval
+	// from the instant the tenant became dispatchable (woke, or completed a
+	// slice with work left) to its next dispatch. Wake restricts to wakeups:
+	// a Submit that found the tenant blocked, to its first dispatch — the
+	// paper's interactive response-time metric (Figure 6(c)).
+	Dispatch LatencyStat
+	Wake     LatencyStat
 }
 
 // Stats returns per-tenant statistics in registration order, with shares and
-// lags computed by internal/metrics over the charged service.
+// lags computed by internal/metrics over the charged service. The snapshot is
+// a consistent cut: the whole runtime is frozen (every shard lock held, the
+// same freeze CheckInvariants takes) while the service and weight vectors are
+// gathered, so shares, lags and the Jain index are computed from one instant
+// rather than skewed by charges landing between per-tenant samples.
 func (r *Runtime) Stats() []TenantStat {
 	r.regMu.Lock()
 	defer r.regMu.Unlock()
+	r.lockShards()
+	defer r.unlockShards()
 	out := make([]TenantStat, 0, len(r.tenants))
 	services := make([]simtime.Duration, 0, len(r.tenants))
 	weights := make([]float64, 0, len(r.tenants))
 	for _, tn := range r.tenants {
-		sh := tn.lockShard()
 		if tn.gone { // finalized by Complete, not yet pruned
-			sh.mu.Unlock()
 			continue
 		}
+		sh := tn.sh.Load() // stable: migration needs the shard locks we hold
 		out = append(out, TenantStat{
-			Name:    tn.th.Name,
-			Weight:  tn.th.Weight,
-			Shard:   sh.id,
-			Service: tn.th.Service,
-			Queued:  tn.n,
-			Running: tn.th.Running(),
+			Name:        tn.th.Name,
+			Weight:      tn.th.Weight,
+			Shard:       sh.id,
+			Service:     tn.th.Service,
+			Queued:      tn.n,
+			Running:     tn.th.Running(),
+			Preemptions: tn.preempts,
+			Resumes:     tn.resumes,
+			TaskPanics:  tn.panics.Load(),
+			Dispatch:    latencyStatOf(&tn.waitHist),
+			Wake:        latencyStatOf(&tn.wakeHist),
 		})
 		services = append(services, tn.th.Service)
 		weights = append(weights, tn.th.Weight)
-		sh.mu.Unlock()
 	}
 	if len(out) == 0 {
 		return out
@@ -745,24 +929,41 @@ func (r *Runtime) Stats() []TenantStat {
 
 // JainIndex returns Jain's fairness index of per-weight normalized charged
 // service across the current tenants (1.0 = perfectly proportional), or 1
-// with no tenants.
+// with no tenants. Like Stats, it computes over a whole-runtime freeze so the
+// service vector is a consistent cut.
 func (r *Runtime) JainIndex() float64 {
 	r.regMu.Lock()
 	defer r.regMu.Unlock()
+	r.lockShards()
+	defer r.unlockShards()
 	var services []simtime.Duration
 	var weights []float64
 	for _, tn := range r.tenants {
-		sh := tn.lockShard()
 		if !tn.gone {
 			services = append(services, tn.th.Service)
 			weights = append(weights, tn.th.Weight)
 		}
-		sh.mu.Unlock()
 	}
 	if len(services) == 0 {
 		return 1
 	}
 	return metrics.JainIndex(services, weights)
+}
+
+// lockShards freezes the whole runtime by taking every shard lock in
+// ascending id order (the documented lock order); unlockShards releases in
+// reverse. Metrics exports and invariant checks use the pair so their
+// snapshots are consistent cuts.
+func (r *Runtime) lockShards() {
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (r *Runtime) unlockShards() {
+	for i := len(r.shards) - 1; i >= 0; i-- {
+		r.shards[i].mu.Unlock()
+	}
 }
 
 // TaskPanics returns how many submitted tasks panicked and were dropped.
@@ -781,14 +982,8 @@ func (r *Runtime) Migrations() int64 { return r.migrations.Load() }
 func (r *Runtime) CheckInvariants() error {
 	r.regMu.Lock()
 	defer r.regMu.Unlock()
-	for _, sh := range r.shards {
-		sh.mu.Lock()
-	}
-	defer func() {
-		for i := len(r.shards) - 1; i >= 0; i-- {
-			r.shards[i].mu.Unlock()
-		}
-	}()
+	r.lockShards()
+	defer r.unlockShards()
 	totalQueued := 0
 	registered := make(map[*Tenant]bool, len(r.tenants))
 	for _, tn := range r.tenants {
@@ -851,9 +1046,10 @@ func (r *Runtime) CheckInvariants() error {
 }
 
 func (tn *Tenant) pop() {
-	tn.buf[tn.head] = nil
+	tn.buf[tn.head] = queued{}
 	tn.head = (tn.head + 1) % len(tn.buf)
 	tn.n--
+	tn.headStarted = false
 }
 
 // removeTenantLocked prunes a finalized tenant from the registry (regMu

@@ -282,6 +282,10 @@ func TestTaskPanicContained(t *testing.T) {
 	r := rt.New(rt.Config{Workers: 1, QueueCap: 8})
 	defer r.Close()
 	tn, _ := r.Register("chaotic", 1)
+	calm, _ := r.Register("calm", 1)
+	if err := calm.Submit(rt.Once(func() {})); err != nil {
+		t.Fatal(err)
+	}
 	if err := tn.Submit(rt.Once(func() { panic("handler bug") })); err != nil {
 		t.Fatal(err)
 	}
@@ -296,6 +300,18 @@ func TestTaskPanicContained(t *testing.T) {
 	}
 	if n := r.TaskPanics(); n != 1 {
 		t.Fatalf("TaskPanics = %d, want 1", n)
+	}
+	// The panic is attributed to the misbehaving tenant, not smeared over a
+	// global counter.
+	r.Drain()
+	for _, s := range r.Stats() {
+		want := int64(0)
+		if s.Name == "chaotic" {
+			want = 1
+		}
+		if s.TaskPanics != want {
+			t.Fatalf("tenant %s TaskPanics = %d, want %d", s.Name, s.TaskPanics, want)
+		}
 	}
 }
 

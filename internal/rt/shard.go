@@ -15,14 +15,16 @@ import (
 	"fmt"
 	"sync"
 
+	"sfsched/internal/metrics"
 	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
 )
 
 type shard struct {
-	r       *Runtime
-	id      int
-	workers int // processors owned by this shard
+	r           *Runtime
+	id          int
+	workers     int // processors owned by this shard
+	firstWorker int // global index of the shard's first worker (contiguous block)
 
 	// mu serializes all scheduling on this shard — the per-shard equivalent
 	// of the kernel run-queue lock. It guards every field below and every
@@ -31,15 +33,20 @@ type shard struct {
 	sch sched.Scheduler
 	// Optional capability views of sch, nil when unimplemented: virtual
 	// time for metrics export, surplus reporting for migration ranking,
-	// frame translation for cross-shard moves.
+	// frame translation for cross-shard moves, preemption ranking for
+	// wakeups.
 	vt       sched.VirtualTimer
 	lag      sched.LagReporter
 	frame    sched.FrameTranslator
+	pre      sched.Preempter
 	byThread map[*sched.Thread]*Tenant
 	weight   float64          // Σ tenant weights: the shard's sub-share of the machine
 	queued   int              // queued tasks across this shard's tenants
 	running  int              // dispatched slices in flight on this shard
 	service  simtime.Duration // total time charged on this shard (survives migrations)
+	preempts int64            // preemption flags raised on this shard's slices
+	waitHist metrics.Histogram
+	wakeHist metrics.Histogram
 	workCond *sync.Cond
 }
 
@@ -59,6 +66,29 @@ func (sh *shard) dispatchLocked(worker, local int) *Dispatched {
 	}
 	th.CPU = local
 	sh.running++
+	// The slice starts clean; any preemption flag raised against the
+	// worker's previous occupant dies with that slice.
+	sh.r.preemptFlags[worker].Store(false)
+	// Latency accounting: ready→dispatch on every dispatch, wakeup→first
+	// dispatch when a wakeup Submit is still pending its dispatch. Both are
+	// bare histogram increments (metrics.Histogram is fixed-size), keeping
+	// the hot path allocation-free.
+	if lat := now.Sub(tn.readyAt); lat >= 0 {
+		tn.waitHist.Record(lat)
+		sh.waitHist.Record(lat)
+	}
+	if tn.wokePending {
+		tn.wokePending = false
+		if lat := now.Sub(tn.wokeAt); lat >= 0 {
+			tn.wakeHist.Record(lat)
+			sh.wakeHist.Record(lat)
+		}
+	}
+	if tn.headStarted {
+		tn.resumes++ // continuing an unfinished (possibly preempted) task
+	} else {
+		tn.headStarted = true
+	}
 	d := &sh.r.dslots[worker]
 	if d.inFlight {
 		panic(fmt.Sprintf("rt: worker %d dispatched with a slice already in flight", worker))
@@ -75,6 +105,46 @@ func (sh *shard) dispatchLocked(worker, local int) *Dispatched {
 		inFlight: true,
 	}
 	return d
+}
+
+// maybePreemptLocked implements wakeup preemption (shard lock held): when the
+// newly woken tenant out-ranks the worst-ranked running slice under the
+// policy's own sched.Preempter ordering — both sides projected to "right
+// now", the running side by its uncharged in-flight service — the runtime
+// raises the cooperative preemption flag on that slice. A cooperating task
+// yields at its next checkpoint, its Complete charges exactly what it ran
+// (SFS is built for variable-length quanta, §2.3, so the early stop never
+// perturbs fairness), and the freed worker's next pick lands on the woken
+// tenant, which holds the shard's minimum rank. Nothing happens when a worker
+// is idle (the wakeup is absorbed without preempting), when the policy has no
+// preemption order (time sharing, lottery), or when preemption is disabled.
+func (sh *shard) maybePreemptLocked(woken *Tenant, now simtime.Time) {
+	r := sh.r
+	if !r.preempt || sh.pre == nil || sh.running < sh.workers {
+		return
+	}
+	var victim *Dispatched
+	var worst float64
+	for w := sh.firstWorker; w < sh.firstWorker+sh.workers; w++ {
+		d := &r.dslots[w]
+		if !d.inFlight || r.preemptFlags[w].Load() {
+			continue // idle slot, or a preemption is already pending there
+		}
+		ran := now.Sub(d.start)
+		if ran < 0 {
+			ran = 0
+		}
+		rank := sh.pre.PreemptRank(d.tn.th, ran)
+		if victim == nil || rank > worst {
+			victim, worst = d, rank
+		}
+	}
+	if victim == nil || sh.pre.PreemptRank(woken.th, 0) >= worst {
+		return
+	}
+	r.preemptFlags[victim.worker].Store(true)
+	victim.tn.preempts++
+	sh.preempts++
 }
 
 // dropBacklogLocked discards a closing tenant's pending tasks, including an

@@ -133,7 +133,11 @@ func TestConcurrentStatsUnderChurn(t *testing.T) {
 							t.Errorf("tenant shares sum to %g", shareSum)
 							return
 						}
-						if lagSum > simtime.Millisecond || lagSum < -simtime.Millisecond {
+						// With the whole-runtime freeze, the service vector is
+						// a consistent cut: lags sum to zero up to per-tenant
+						// microsecond rounding, a far tighter bound than an
+						// unlocked walk could promise.
+						if lagSum > 50*simtime.Microsecond || lagSum < -50*simtime.Microsecond {
 							t.Errorf("tenant lags sum to %v, want ~0", lagSum)
 							return
 						}
@@ -172,6 +176,124 @@ func TestConcurrentStatsUnderChurn(t *testing.T) {
 				t.Fatal("no stats reads completed")
 			}
 		})
+	}
+}
+
+// TestStatsConsistentCutUnderLoad hammers the metrics surface while real
+// workers charge continuously: every Stats snapshot must be a consistent cut
+// — lags summing to ~0 (microsecond rounding only), shares summing to ~1,
+// Jain within [0,1] — and JainIndex must agree with a Jain computed from the
+// same call's Stats vector to within the drift of two adjacent freezes.
+func TestStatsConsistentCutUnderLoad(t *testing.T) {
+	r := rt.New(rt.Config{Workers: 4, Shards: 2, Quantum: simtime.Millisecond, QueueCap: 4})
+	defer r.Close()
+	weights := []float64{4, 3, 2, 1, 4, 3, 2, 1}
+	for i, w := range weights {
+		tn, err := r.Register("t", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Perpetual compute: keeps every worker charging while Stats runs.
+		if err := tn.Submit(func(simtime.Duration) bool {
+			spin(50 * time.Microsecond)
+			return false
+		}); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	snapshots := 0
+	for time.Now().Before(deadline) {
+		stats := r.Stats()
+		if len(stats) != len(weights) {
+			t.Fatalf("stats lists %d tenants, want %d", len(stats), len(weights))
+		}
+		var lagSum, shareSum = simtime.Duration(0), 0.0
+		for _, s := range stats {
+			lagSum += s.Lag
+			shareSum += s.Share
+		}
+		if lagSum > 50*simtime.Microsecond || lagSum < -50*simtime.Microsecond {
+			t.Fatalf("lags sum to %v over a frozen cut, want ~0", lagSum)
+		}
+		if shareSum > 1.0001 || (stats[0].Service > 0 && shareSum < 0.9999) {
+			t.Fatalf("shares sum to %g over a frozen cut", shareSum)
+		}
+		if j := r.JainIndex(); j < 0 || j > 1.0000001 {
+			t.Fatalf("Jain index %g out of [0,1]", j)
+		}
+		snapshots++
+	}
+	if snapshots == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	// The perpetual compute tasks never finish; Close abandons them.
+}
+
+// TestConcurrentRegisterNoStampede pins the placement re-check: many
+// concurrent Registers (interleaved with weight changes that perturb shard
+// loads mid-scan) must still spread weight evenly instead of stampeding onto
+// one momentarily-lightest shard.
+func TestConcurrentRegisterNoStampede(t *testing.T) {
+	const (
+		shards        = 4
+		perGoroutine  = 16
+		registrars    = 8
+		tenantsPlaced = registrars * perGoroutine
+	)
+	r := rt.New(rt.Config{Workers: shards, Shards: shards, QueueCap: 2,
+		Manual: true, RebalanceEvery: -1})
+	defer r.Close()
+	var wg sync.WaitGroup
+	tenants := make(chan *rt.Tenant, tenantsPlaced)
+	for g := 0; g < registrars; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				tn, err := r.Register("t", 1)
+				if err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				tenants <- tn
+				// Wiggle the load picture concurrently with other scans.
+				if err := r.SetWeight(tn, 1.0+float64(i%2)/100); err != nil {
+					t.Errorf("setweight: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(tenants)
+	perShard := make([]float64, shards)
+	count := 0
+	for tn := range tenants {
+		count++
+		perShard[tn.Shard()] += tn.Thread().Weight
+	}
+	if count != tenantsPlaced {
+		t.Fatalf("placed %d tenants, want %d", count, tenantsPlaced)
+	}
+	min, max := perShard[0], perShard[0]
+	for _, w := range perShard[1:] {
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	// Balanced placement puts ~tenantsPlaced/shards ≈ 32 weight units per
+	// shard; allow a few units of skew from in-flight weight wiggles, far
+	// below the whole-cohort pile-up a stampede would produce.
+	if max-min > 4 {
+		t.Fatalf("per-shard weight skew %g (min %g, max %g): registration stampede", max-min, min, max)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -10,6 +10,8 @@
 
 package sched
 
+import "sfsched/internal/simtime"
+
 // VirtualTimer reports the scheduler's current virtual time: the global
 // normalized-service frame its tags are measured against (v for the
 // fair-queueing family, the global pass for stride). Policies without a
@@ -31,6 +33,33 @@ type LagReporter interface {
 	// FreshSurplus returns t's surplus against the scheduler's current
 	// virtual time. t must be in the scheduler's runnable set.
 	FreshSurplus(t *Thread) float64
+}
+
+// Preempter ranks threads for wakeup preemption: "would this newly-woken
+// thread out-rank thread T right now?". PreemptRank returns a thread's claim
+// on a processor — smaller is more deserving — *projected forward* by ran of
+// service the thread has consumed since its tags were last charged. The
+// projection is what makes the answer "right now": a runtime that charges
+// only at slice boundaries (internal/rt) holds stale tags for running
+// threads, and comparing a woken thread against a mid-slice CPU hog on stale
+// tags would systematically under-preempt. A woken thread w therefore
+// preempts a running thread t when
+//
+//	PreemptRank(w, 0) < PreemptRank(t, ran_t)
+//
+// where ran_t is t's uncharged in-flight service. Ranks are comparable only
+// within one scheduler instance at one instant; the projection is advisory
+// (it mutates nothing), so a policy may approximate — fixed-point SFS ranks
+// in float — without perturbing its tag arithmetic or decision traces.
+// Policies with no preference order over wakeups (time sharing's epoch
+// counters already encode their own I/O boost; lottery is memoryless) simply
+// do not implement it, and the runtime never raises a preemption flag for
+// them.
+type Preempter interface {
+	// PreemptRank returns t's preemption rank (smaller = more deserving of
+	// a processor) as if t had additionally been charged ran right now.
+	// Pass ran = 0 for a thread that is not running.
+	PreemptRank(t *Thread, ran simtime.Duration) float64
 }
 
 // FrameTranslator carries a thread's virtual-time position across scheduler

@@ -112,6 +112,7 @@ var (
 	_ sched.VirtualTimer    = (*SFQ)(nil)
 	_ sched.LagReporter     = (*SFQ)(nil)
 	_ sched.FrameTranslator = (*SFQ)(nil)
+	_ sched.Preempter       = (*SFQ)(nil)
 )
 
 // VirtualTime implements sched.VirtualTimer (minimum start tag).
@@ -212,6 +213,12 @@ func (s *SFQ) Pick(cpu int, now simtime.Time) *sched.Thread {
 
 // Less implements sched.Scheduler: smaller start tag wins.
 func (s *SFQ) Less(a, b *sched.Thread) bool { return a.Start < b.Start }
+
+// PreemptRank implements sched.Preempter: the start tag projected forward by
+// ran of uncharged service (charging ran advances S_i by ran/φ_i).
+func (s *SFQ) PreemptRank(t *sched.Thread, ran simtime.Duration) float64 {
+	return t.Start + ran.Seconds()/t.Phi
+}
 
 // Threads returns the runnable threads in start-tag order.
 func (s *SFQ) Threads() []*sched.Thread { return s.byStart.Slice() }

@@ -92,6 +92,7 @@ var (
 	_ sched.VirtualTimer    = (*Stride)(nil)
 	_ sched.LagReporter     = (*Stride)(nil)
 	_ sched.FrameTranslator = (*Stride)(nil)
+	_ sched.Preempter       = (*Stride)(nil)
 )
 
 // VirtualTime implements sched.VirtualTimer: the global pass, stride
@@ -197,6 +198,12 @@ func (s *Stride) Pick(cpu int, now simtime.Time) *sched.Thread {
 
 // Less implements sched.Scheduler: smaller pass wins.
 func (s *Stride) Less(a, b *sched.Thread) bool { return a.Pass < b.Pass }
+
+// PreemptRank implements sched.Preempter: the pass value projected forward by
+// ran of uncharged service (Charge advances the pass by stride·ran/quantum).
+func (s *Stride) PreemptRank(t *sched.Thread, ran simtime.Duration) float64 {
+	return t.Pass + t.Stride*float64(ran)/float64(s.quantum)
+}
 
 // Threads returns the runnable threads in pass order.
 func (s *Stride) Threads() []*sched.Thread { return s.byPass.Slice() }

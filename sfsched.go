@@ -174,8 +174,22 @@ type (
 	Tenant = rt.Tenant
 	// RuntimeTask is one unit of tenant work with cooperative timeslicing.
 	RuntimeTask = rt.Task
+	// PreemptibleTask is a RuntimeTask variant that observes cooperative
+	// wakeup preemption through its SliceCtx (see RuntimeConfig.Preempt and
+	// Tenant.SubmitPreemptible).
+	PreemptibleTask = rt.PreemptibleTask
+	// SliceCtx is a running PreemptibleTask's view of its slice: the
+	// granted timeslice hint and the cooperative preemption flag.
+	SliceCtx = rt.SliceCtx
+	// Preempter is the optional scheduler capability behind wakeup
+	// preemption: policies implementing it (SFS, SFQ, stride, BVT, hier)
+	// rank a newly woken thread against running ones.
+	Preempter = sched.Preempter
 	// TenantStat is a point-in-time per-tenant metrics view.
 	TenantStat = rt.TenantStat
+	// LatencyStat summarizes a dispatch-latency distribution (p50/p95/p99
+	// from the runtime's log-bucketed histograms).
+	LatencyStat = rt.LatencyStat
 	// ShardStat is a point-in-time per-shard metrics view of a sharded
 	// Runtime.
 	ShardStat = rt.ShardStat

@@ -106,6 +106,38 @@ func TestLivecmpSmoke(t *testing.T) {
 	}
 }
 
+// TestLivecmpLatencySmoke runs the Figure 6(c) latency reprise end to end:
+// one row per (policy, preempt on/off) cell with the interactive quantile
+// columns, and at least one preemption recorded for the Preempter-capable
+// policy cell.
+func TestLivecmpLatencySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests skipped in -short mode")
+	}
+	out := runBinary(t, "cmd/livecmp",
+		"-latency", "-policies", "sfs,timeshare", "-hogs", "4",
+		"-duration", "250ms", "-slice", "5ms")
+	for _, want := range []string{"SFS", "timeshare", "p95_ms", "preemptions", "preempt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("livecmp -latency output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLatencyLiveSmoke runs examples/latency on the wall-clock runtime.
+func TestLatencyLiveSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests skipped in -short mode")
+	}
+	out := runBinary(t, "examples/latency",
+		"-live", "-duration", "250ms", "-hogs", "4")
+	for _, want := range []string{"SFS", "timeshare", "p95_ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("latency -live output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestPaperbenchSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess smoke tests skipped in -short mode")
