@@ -7,7 +7,7 @@
 // index ≈ 1), Linux-style time sharing ignores them (weighted Jain ≪ 1).
 //
 //	go run ./cmd/livecmp [-policies sfs,sfq,timeshare] [-workers N] [-shards N]
-//	                     [-per-tier 2] [-duration 1s] [-slice 25ms] [-v]
+//	                     [-per-tier 2] [-duration 1s] [-slice 25ms] [-preempt] [-v]
 //	go run ./cmd/livecmp -latency [-hogs 8] [-policies sfs,bvt,timeshare] ...
 //
 // Any policy sfsched.PolicyByName knows (sfs, sfq, sfq+readjust, timeshare,
@@ -54,6 +54,8 @@ func main() {
 	hogs := flag.Int("hogs", 8, "background compute-bound tenants in -latency mode")
 	grant := flag.Duration("grant", time.Millisecond,
 		"hog cooperative preemption-check granularity in -latency mode")
+	preempt := flag.Bool("preempt", false,
+		"arm cooperative wakeup preemption in the fairness runs (the tasks then yield at millisecond checkpoints when flagged; -latency mode always tabulates both arms)")
 	flag.Parse()
 
 	cfg := experiments.LiveConfig{
@@ -62,6 +64,7 @@ func main() {
 		PerTier:  *perTier,
 		Duration: *duration,
 		SliceCap: *slice,
+		Preempt:  *preempt,
 	}
 	var names []string
 	var factories []rt.Policy
@@ -96,8 +99,12 @@ func main() {
 		fmt.Print(experiments.LatencyTable(results))
 		return
 	}
-	fmt.Printf("livecmp: %s for %v each (weighted tiers 4:3:2:1 x %d)\n",
-		strings.Join(names, " vs "), *duration, *perTier)
+	mode := ""
+	if *preempt {
+		mode = ", wakeup preemption armed"
+	}
+	fmt.Printf("livecmp: %s for %v each (weighted tiers 4:3:2:1 x %d%s)\n",
+		strings.Join(names, " vs "), *duration, *perTier, mode)
 	results := experiments.CrossPolicyLive(factories, cfg)
 	if *verbose {
 		for _, res := range results {

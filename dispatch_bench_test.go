@@ -107,6 +107,74 @@ func BenchmarkDispatchPreempt(b *testing.B) {
 	}
 }
 
+// benchmarkSubmitWake measures the submit→wakeup path with the submit route
+// selectable: intake=false is the pre-intake locked baseline
+// (RuntimeConfig.LockedSubmit — shard lock plus per-submit cond signal),
+// intake=true is the lock-free MPSC intake ring with batched drains. Unlike
+// benchmarkDispatch's deep-backlog flood, the tenant population is small and
+// backlogs start empty with ample capacity, so the workers drain each tenant
+// to empty almost immediately and nearly every Submit finds its tenant
+// blocked: the op under measurement is the full wakeup admission — the
+// backpressure gate, the enqueue, the S_i = max(F_i, v) scheduler re-entry
+// and the worker wakeup — which is exactly the work the intake ring takes
+// off the lock and batches.
+func benchmarkSubmitWake(b *testing.B, shards, nTenants int, intake bool) {
+	const workers = 16
+	const submitters = 128
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+	r := sfsched.NewRuntime(sfsched.RuntimeConfig{
+		Workers:        workers,
+		Shards:         shards,
+		Quantum:        sfsched.Millisecond,
+		RebalanceEvery: -1,
+		LockedSubmit:   !intake,
+	})
+	defer r.Close()
+	tenants := make([]*sfsched.Tenant, nTenants)
+	for i := range tenants {
+		tn, err := r.Register(fmt.Sprintf("wake-%d", i), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tenants[i] = tn
+	}
+	task := sfsched.RunOnce(func() {})
+	var next atomic.Int64
+	b.SetParallelism(8) // 8 submitters per P: 128 concurrent submitters vs 16 workers
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := int(next.Add(1))
+		for i := 0; pb.Next(); i++ {
+			tn := tenants[(base+i*submitters)%nTenants]
+			if err := tn.Submit(task); err != nil &&
+				!errors.Is(err, sfsched.ErrRuntimeClosed) {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	r.Drain()
+	b.StopTimer()
+}
+
+// BenchmarkSubmitWake measures contended submit/wakeup throughput with the
+// lock-free intake rings on versus the locked baseline, at 1 and 16 shards
+// on a 16-worker pool with 16 concurrent submitters. The intake=on/intake=off
+// pair at equal shard count is a within-run comparison (machine-independent),
+// which is what the BENCH_6.json benchcmp gate pins a speedup floor on;
+// -benchmem pins 0 allocs/op on both sides.
+func BenchmarkSubmitWake(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		for _, intake := range []bool{false, true} {
+			name := fmt.Sprintf("intake=%v/shards=%d/workers=16", intake, shards)
+			b.Run(name, func(b *testing.B) {
+				benchmarkSubmitWake(b, shards, 64, intake)
+			})
+		}
+	}
+}
+
 // BenchmarkDispatchPolicy sweeps the same contended pipeline across the live
 // scheduling policies at 4 shards: ns/op is the per-task cost of each
 // policy's decision path behind the policy-generic seam (capability

@@ -6,7 +6,7 @@
 // per-CPU runqueues and the background rebalancer keeps each shard's
 // sub-share of the total weight proportional to its processor count.
 //
-//	go run ./examples/fairserver [-policy sfs] [-workers N] [-shards N] [-per-tier 4] [-duration 1s] [-cost 200µs]
+//	go run ./examples/fairserver [-policy sfs] [-workers N] [-shards N] [-per-tier 4] [-duration 1s] [-cost 200µs] [-preempt]
 //
 // -policy picks the dispatch policy per shard (sfs, sfq, sfq+readjust,
 // timeshare, stride, bvt, lottery, hier): the same live load under the
@@ -47,6 +47,8 @@ func main() {
 	perTier := flag.Int("per-tier", 4, "tenants per weight tier (4 tiers: platinum/gold/silver/bronze)")
 	duration := flag.Duration("duration", time.Second, "how long to serve load")
 	cost := flag.Duration("cost", 200*time.Microsecond, "CPU cost of one task")
+	preempt := flag.Bool("preempt", false,
+		"arm cooperative wakeup preemption; tasks poll SliceCtx.Preempted at 100µs checkpoints and yield mid-task when flagged")
 	flag.Parse()
 	mkSched, err := sfsched.PolicyByName(*policy, 10*sfsched.Millisecond)
 	if err != nil {
@@ -84,6 +86,7 @@ func main() {
 		Shards:   *shards,
 		Policy:   mkSched,
 		QueueCap: 8,
+		Preempt:  *preempt,
 	})
 	defer r.Close()
 
@@ -95,6 +98,37 @@ func main() {
 			tn, err := r.Register(fmt.Sprintf("%s-%d", tier.name, i), tier.weight)
 			if err != nil {
 				panic(err)
+			}
+			if *preempt {
+				// Preemptible variant: burn the task's cost in 100µs
+				// checkpoints and yield the processor mid-task when the
+				// shard flags this slice; the unfinished remainder stays at
+				// the backlog head and continues on a later dispatch.
+				remaining := *cost
+				var task sfsched.PreemptibleTask
+				task = func(ctx sfsched.SliceCtx) bool {
+					const checkpoint = 100 * time.Microsecond
+					for remaining > 0 {
+						c := checkpoint
+						if remaining < c {
+							c = remaining
+						}
+						spin(c)
+						remaining -= c
+						if remaining > 0 && ctx.Preempted() {
+							return false // yield; resume on the next dispatch
+						}
+					}
+					remaining = *cost
+					if !stop.Load() {
+						_ = tn.TrySubmitPreemptible(task) // best-effort refeed
+					}
+					return true
+				}
+				if err := tn.SubmitPreemptible(task); err != nil {
+					panic(err)
+				}
+				continue
 			}
 			var task sfsched.RuntimeTask
 			task = sfsched.RunOnce(func() {
@@ -121,9 +155,11 @@ func main() {
 	}
 	measured := make([]float64, len(stats))
 	ideal := make([]float64, len(stats))
+	var preemptions int64
 	for i, s := range stats {
 		measured[i] = s.Share
 		ideal[i] = s.Weight / totalWeight
+		preemptions += s.Preemptions
 		tbl.AddRow(s.Name,
 			fmt.Sprintf("%g", s.Weight),
 			fmt.Sprintf("%d", s.Shard),
@@ -150,6 +186,6 @@ func main() {
 			fmt.Sprintf("%.3f", ss.Jain))
 	}
 	fmt.Print(shardTbl.String())
-	fmt.Printf("jain index %.4f, worst share error %.1f%%, migrations %d\n",
-		r.JainIndex(), 100*metrics.RatioError(measured, ideal), r.Migrations())
+	fmt.Printf("jain index %.4f, worst share error %.1f%%, migrations %d, preemptions %d\n",
+		r.JainIndex(), 100*metrics.RatioError(measured, ideal), r.Migrations(), preemptions)
 }

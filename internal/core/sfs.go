@@ -241,6 +241,7 @@ var (
 	_ sched.LagReporter     = (*SFS)(nil)
 	_ sched.FrameTranslator = (*SFS)(nil)
 	_ sched.Preempter       = (*SFS)(nil)
+	_ sched.BatchAdder      = (*SFS)(nil)
 )
 
 // Name implements sched.Scheduler.
@@ -376,6 +377,66 @@ func (s *SFS) Add(t *sched.Thread, now simtime.Time) error {
 	s.storeSurplus(t)
 	s.bySurplus.Push(t)
 	if changed && s.k > 0 {
+		s.refreshSurpluses()
+	}
+	return nil
+}
+
+// AddBatch implements sched.BatchAdder: admit a batch of newly woken threads
+// at one instant, equivalent to calling Add for each element of ts in order
+// but with the weight-readjustment pass — and, in heuristic mode, the global
+// surplus refresh a φ change forces — run once for the whole batch. The
+// sharded runtime's intake drain uses it so N simultaneous wakeups cost one
+// Figure-2 pass.
+//
+// Equivalence with sequential Adds holds because φ values are a pure
+// function of the final runnable set (Figure 2 has no history), each
+// thread's wakeup tag max(F_i, v) is unaffected by the other admissions
+// (adding a thread can never lower v, and v is recomputed after every
+// insertion exactly as the sequential path would), and the deferred
+// readjustment's φ hook re-stores the surplus of every thread whose φ
+// changed — exactly the state N per-Add passes would have left behind.
+// TestAddBatchEquivalence locks this in across the exact, fixed-point and
+// heuristic variants.
+func (s *SFS) AddBatch(ts []*sched.Thread, now simtime.Time) error {
+	// Validate the whole batch up front (including intra-batch duplicates)
+	// so that an error leaves the runnable set untouched.
+	for i, t := range ts {
+		if !sched.ValidWeight(t.Weight) {
+			return fmt.Errorf("%w: %g", sched.ErrBadWeight, t.Weight)
+		}
+		if s.byStart.Contains(t) {
+			return fmt.Errorf("%w: %v", sched.ErrAlreadyManaged, t)
+		}
+		for _, u := range ts[:i] {
+			if u == t {
+				return fmt.Errorf("%w: %v (duplicate in batch)", sched.ErrAlreadyManaged, t)
+			}
+		}
+	}
+	for _, t := range ts {
+		if s.fixed {
+			if delta := s.fxShift - t.FxShift; delta != 0 {
+				t.FxFinish -= delta
+				t.Finish = s.scale.Float(t.FxFinish)
+				t.FxShift = s.fxShift
+			}
+			if t.FxFinish > s.fxV {
+				t.FxStart = t.FxFinish
+			} else {
+				t.FxStart = s.fxV
+			}
+			t.Start = s.scale.Float(t.FxStart)
+		} else {
+			t.Start = math.Max(t.Finish, s.v)
+		}
+		s.weights.AddDeferred(t)
+		s.byStart.Push(t)
+		s.recomputeV()
+		s.storeSurplus(t)
+		s.bySurplus.Push(t)
+	}
+	if s.weights.Readjust() && s.k > 0 {
 		s.refreshSurpluses()
 	}
 	return nil

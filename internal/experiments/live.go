@@ -40,6 +40,14 @@ type LiveConfig struct {
 	// every policy. The cap is workload cooperation, not policy
 	// distortion: all policies are built for variable-length quanta.
 	SliceCap time.Duration
+	// Preempt arms cooperative wakeup preemption (rt.Config.Preempt): the
+	// compute-bound tasks then poll SliceCtx.Preempted at millisecond
+	// checkpoints and yield their slice early when a woken tenant out-ranks
+	// them. Fairness is unaffected either way (the flag trades only
+	// dispatch latency); the option exists so the live comparison can be
+	// run under the exact configuration the Figure 6(c) latency reprise
+	// uses.
+	Preempt bool
 }
 
 // LiveTenant is one tenant's outcome in a live run.
@@ -85,7 +93,8 @@ func RunLive(policy rt.Policy, cfg LiveConfig) LiveResult {
 	if sliceCap <= 0 {
 		sliceCap = 25 * time.Millisecond
 	}
-	r := rt.New(rt.Config{Workers: workers, Shards: shards, Policy: policy, QueueCap: 2})
+	r := rt.New(rt.Config{Workers: workers, Shards: shards, Policy: policy,
+		QueueCap: 2, Preempt: cfg.Preempt})
 	tiers := []struct {
 		name   string
 		weight float64
@@ -100,15 +109,41 @@ func RunLive(policy rt.Policy, cfg LiveConfig) LiveResult {
 			}
 			weights = append(weights, tier.weight)
 			totalWeight += tier.weight
-			if err := tn.Submit(func(slice simtime.Duration) bool {
-				d := slice.Std()
-				if d > sliceCap {
-					d = sliceCap
-				}
-				spinFor(d)
-				return false // compute-bound: never finishes, stays backlogged
-			}); err != nil {
-				panic(err)
+			var err2 error
+			if cfg.Preempt {
+				err2 = tn.SubmitPreemptible(func(ctx rt.SliceCtx) bool {
+					d := ctx.Slice().Std()
+					if d > sliceCap {
+						d = sliceCap
+					}
+					// Burn the slice in millisecond checkpoints, yielding
+					// early when the shard raises the preemption flag.
+					const grant = time.Millisecond
+					for burned := time.Duration(0); burned < d; {
+						c := grant
+						if rest := d - burned; rest < c {
+							c = rest
+						}
+						spinFor(c)
+						burned += c
+						if ctx.Preempted() {
+							break
+						}
+					}
+					return false // compute-bound: never finishes, stays backlogged
+				})
+			} else {
+				err2 = tn.Submit(func(slice simtime.Duration) bool {
+					d := slice.Std()
+					if d > sliceCap {
+						d = sliceCap
+					}
+					spinFor(d)
+					return false // compute-bound: never finishes, stays backlogged
+				})
+			}
+			if err2 != nil {
+				panic(err2)
 			}
 		}
 	}

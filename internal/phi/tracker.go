@@ -131,6 +131,18 @@ func (k *Tracker) Add(t *sched.Thread) bool {
 	return k.Readjust()
 }
 
+// AddDeferred starts tracking t like Add but defers the readjustment pass:
+// batch admission (core's AddBatch) inserts every thread of a wakeup batch
+// first and then runs a single Readjust for the whole batch, since φ values
+// are a pure function of the final runnable set. φ starts at the requested
+// weight and the hook fires unconditionally so derived caches (FxPhi) are
+// primed, exactly as Add does.
+func (k *Tracker) AddDeferred(t *sched.Thread) {
+	k.setPhi(t, t.Weight, true)
+	k.sum += t.Weight
+	k.byWeight.Insert(t)
+}
+
 // Remove stops tracking t and readjusts. It reports whether any φ changed.
 func (k *Tracker) Remove(t *sched.Thread) bool {
 	if !k.byWeight.Remove(t) {

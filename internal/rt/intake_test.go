@@ -1,0 +1,192 @@
+// Tests for the per-shard MPSC intake ring (intake.go) and the submit-side
+// hot path it carries: the raw ring protocol (claim/publish/consume lap
+// handoff, full detection, tombstones), a fuzzed multi-producer FIFO/no-loss
+// check that the race detector also replays from the seed corpus under
+// `go test -race`, and the zero-allocation guarantee of Submit on both the
+// intake route and the locked baseline — the submit-side twin of
+// TestDispatchHotPathZeroAlloc.
+
+package rt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"sfsched/internal/simtime"
+)
+
+// TestIntakeRing exercises the single-threaded ring protocol: fill to
+// capacity, observe full, drain in order, and reuse the slots on the next
+// lap (the seq = pos+cap retirement handoff).
+func TestIntakeRing(t *testing.T) {
+	var rg intakeRing
+	rg.init()
+	tn := &Tenant{}
+	for lap := 0; lap < 3; lap++ {
+		for i := 0; i < intakeCap; i++ {
+			slot, pos, ok := rg.claim()
+			if !ok {
+				t.Fatalf("lap %d: claim %d failed on a non-full ring", lap, i)
+			}
+			slot.tn = tn
+			slot.at = simtime.Time(i)
+			rg.publish(slot, pos)
+		}
+		if _, _, ok := rg.claim(); ok {
+			t.Fatalf("lap %d: claim succeeded on a full ring", lap)
+		}
+		if n := rg.beginDrain(); n != intakeCap {
+			t.Fatalf("lap %d: beginDrain = %d, want %d", lap, n, intakeCap)
+		}
+		for i := 0; i < intakeCap; i++ {
+			got, _, at := rg.consume()
+			if got != tn || at != simtime.Time(i) {
+				t.Fatalf("lap %d: consume %d = (%p, %d), want (%p, %d)",
+					lap, i, got, at, tn, i)
+			}
+		}
+		if n := rg.beginDrain(); n != 0 {
+			t.Fatalf("lap %d: beginDrain after full drain = %d, want 0", lap, n)
+		}
+	}
+
+	// A tombstone (tn == nil after publish) must round-trip as nil: it is
+	// how a producer voids a slot after losing a race with migration.
+	slot, pos, ok := rg.claim()
+	if !ok {
+		t.Fatal("claim failed on an empty ring")
+	}
+	slot.tn = nil
+	rg.publish(slot, pos)
+	rg.beginDrain()
+	if got, _, _ := rg.consume(); got != nil {
+		t.Fatalf("tombstone consumed as %p, want nil", got)
+	}
+}
+
+// FuzzIntakeRing drives the ring with concurrent producers against one
+// consumer and asserts the MPSC contract: per-producer FIFO order, no lost
+// items, no duplicated items. Each item encodes (producer, sequence) in its
+// at field, so any protocol violation — a torn publish, a slot handed to two
+// producers, a consume that laps the tail — shows up as an order or count
+// mismatch. The seed corpus replays under the race job's `go test -race
+// -short`, putting the detector on the claim/publish/consume edges too.
+func FuzzIntakeRing(f *testing.F) {
+	f.Add(uint8(1), uint16(1))
+	f.Add(uint8(2), uint16(300)) // more than one lap through the ring
+	f.Add(uint8(8), uint16(97))
+	f.Fuzz(func(t *testing.T, nprod uint8, perProd uint16) {
+		producers := 1 + int(nprod)%8
+		each := 1 + int(perProd)%1024
+
+		var rg intakeRing
+		rg.init()
+		tenants := make([]*Tenant, producers)
+		for p := range tenants {
+			tenants[p] = &Tenant{}
+		}
+
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for k := 0; k < each; k++ {
+					for {
+						slot, pos, ok := rg.claim()
+						if !ok { // full: wait for the consumer
+							runtime.Gosched()
+							continue
+						}
+						slot.tn = tenants[p]
+						slot.at = simtime.Time(int64(p)<<32 | int64(k))
+						rg.publish(slot, pos)
+						break
+					}
+				}
+			}(p)
+		}
+
+		// Single consumer, as in the runtime (always under the shard lock).
+		next := make([]int64, producers)
+		byTenant := make(map[*Tenant]int, producers)
+		for p, tn := range tenants {
+			byTenant[tn] = p
+		}
+		total := producers * each
+		for got := 0; got < total; {
+			n := rg.beginDrain()
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < n; i++ {
+				tn, _, at := rg.consume()
+				p, known := byTenant[tn]
+				if !known {
+					t.Fatalf("consumed unknown tenant %p", tn)
+				}
+				if gotP := int(int64(at) >> 32); gotP != p {
+					t.Fatalf("item published by producer %d consumed under tenant of producer %d", gotP, p)
+				}
+				seq := int64(at) & 0xffffffff
+				if seq != next[p] { // catches loss, duplication, reordering
+					t.Fatalf("producer %d: consumed seq %d, want %d", p, seq, next[p])
+				}
+				next[p]++
+				got++
+			}
+		}
+		wg.Wait()
+		if n := rg.beginDrain(); n != 0 {
+			t.Fatalf("ring holds %d items after all were consumed", n)
+		}
+		for p := range next {
+			if next[p] != int64(each) {
+				t.Fatalf("producer %d: consumed %d items, want %d", p, next[p], each)
+			}
+		}
+	})
+}
+
+// TestSubmitHotPathZeroAlloc pins the 0 allocs/op guarantee of the submit
+// side on both routes: the intake-ring fast path (claim, publish, doorbell,
+// batched drain) and the RuntimeConfig.LockedSubmit baseline it is gated
+// against in BENCH_6.json. It is the submit-side twin of
+// TestDispatchHotPathZeroAlloc: a steady wakeup regime where every Submit
+// re-enters the scheduler, runs the backpressure reservation, and wakes the
+// tenant, under a Manual runtime so the whole cycle stays on one goroutine.
+func TestSubmitHotPathZeroAlloc(t *testing.T) {
+	for _, locked := range []bool{false, true} {
+		t.Run(fmt.Sprintf("locked=%v", locked), func(t *testing.T) {
+			clock := NewFakeClock()
+			r := New(Config{Workers: 1, Quantum: 10 * simtime.Millisecond,
+				Clock: clock, QueueCap: 4, Manual: true, LockedSubmit: locked})
+			defer r.Close()
+			tn, err := r.Register("zero", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			task := Once(func() {})
+			cycle := func() {
+				if err := tn.Submit(task); err != nil { // wakeup: backlog is empty
+					t.Fatal(err)
+				}
+				d := r.Dispatch(0)
+				clock.Advance(simtime.Millisecond)
+				d.Complete(true) // backlog empty again: tenant blocks
+			}
+			for i := 0; i < 100; i++ {
+				cycle() // warm up free-lists and queue capacity
+			}
+			if n := testing.AllocsPerRun(500, cycle); n != 0 {
+				t.Fatalf("submit hot path (locked=%v) allocates %.1f per cycle, want 0", locked, n)
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -205,11 +205,11 @@ func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
 		lo, hi = hi, lo
 	}
 	lo.mu.Lock()
-	defer lo.mu.Unlock()
 	hi.mu.Lock()
-	defer hi.mu.Unlock()
 	th := tn.th
 	if tn.sh.Load() != src || tn.closing || tn.gone || th.Running() || tn.waiters > 0 {
+		hi.mu.Unlock()
+		lo.mu.Unlock()
 		return false
 	}
 	now := r.clock.Now()
@@ -235,11 +235,40 @@ func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
 	// condition to the destination lock is safe.
 	tn.notFull = sync.NewCond(&dst.mu)
 	tn.sh.Store(dst)
+	postSrc := postActions{sh: src}
+	postDst := postActions{sh: dst}
 	if tn.inSched {
 		th.State = sched.Runnable
 		mustSched(dst.sch.Add(th, now))
-		dst.workCond.Signal()
+		postDst.signals++
 	}
+	// Sweep the source ring with both locks held, absorbing every item that
+	// could still name the old binding. The tail is read once (beginDrain),
+	// strictly after the tn.sh.Store above: a producer whose claim lands
+	// after that read also rechecks the binding after its claim, so — by the
+	// seq-cst total order on the ring tail — it observes dst and publishes a
+	// tombstone. Every real item the sweep sees therefore belongs to a
+	// tenant currently bound to src, or to tn itself (now bound to dst);
+	// each is absorbed under its owner's lock, both of which we hold.
+	for i, n := 0, src.intake.beginDrain(); i < n; i++ {
+		itn, q, at := src.intake.consume()
+		if itn == nil {
+			continue // tombstone
+		}
+		home := itn.sh.Load()
+		switch home {
+		case src:
+			src.applyDirectLocked(itn, q, at, &postSrc)
+		case dst:
+			dst.applyDirectLocked(itn, q, at, &postDst)
+		default:
+			panic("rt: intake item escaped both shards during migration")
+		}
+	}
+	hi.mu.Unlock()
+	lo.mu.Unlock()
+	postSrc.run(r)
+	postDst.run(r)
 	return true
 }
 
@@ -283,6 +312,11 @@ type ShardStat struct {
 	Preemptions int64
 	Dispatch    LatencyStat
 	Wake        LatencyStat
+	// Intake is the submit→ready stage: how long accepted submissions sat
+	// in this shard's intake ring before a drain absorbed them into their
+	// tenant's backlog (near zero unless every worker is pinned by
+	// long-running slices between drains).
+	Intake LatencyStat
 }
 
 // ShardStats returns per-shard statistics in shard order. Lags are computed
@@ -309,6 +343,7 @@ func (r *Runtime) ShardStats() []ShardStat {
 		st.Preemptions = sh.preempts
 		st.Dispatch = latencyStatOf(&sh.waitHist)
 		st.Wake = latencyStatOf(&sh.wakeHist)
+		st.Intake = latencyStatOf(&sh.intakeHist)
 		if sh.vt != nil {
 			st.VirtualTime = sh.vt.VirtualTime()
 		}

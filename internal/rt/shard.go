@@ -14,6 +14,7 @@ package rt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sfsched/internal/metrics"
 	"sfsched/internal/sched"
@@ -39,6 +40,7 @@ type shard struct {
 	lag      sched.LagReporter
 	frame    sched.FrameTranslator
 	pre      sched.Preempter
+	badd     sched.BatchAdder // batch wakeup admission, nil when unimplemented
 	byThread map[*sched.Thread]*Tenant
 	weight   float64          // Σ tenant weights: the shard's sub-share of the machine
 	queued   int              // queued tasks across this shard's tenants
@@ -47,7 +49,176 @@ type shard struct {
 	preempts int64            // preemption flags raised on this shard's slices
 	waitHist metrics.Histogram
 	wakeHist metrics.Histogram
-	workCond *sync.Cond
+	// intakeHist is the submit→ready stage: how long an accepted submission
+	// sat in the intake ring before the drain absorbed it into the backlog.
+	intakeHist metrics.Histogram
+	workCond   *sync.Cond
+
+	// intake is the lock-free submit path (intake.go); drainPending is its
+	// doorbell: set by the one submitter per burst that takes the lock,
+	// cleared by drainLocked before it reads the tail, so every push strictly
+	// after the clear is covered by a later doorbell win.
+	intake       intakeRing
+	drainPending atomic.Bool
+
+	// Drain scratch, preallocated to the ring capacity (woke/th) and the
+	// worker count (rank/slot) so the drain side allocates nothing.
+	wokeScratch []*Tenant
+	thScratch   []*sched.Thread
+	rankScratch []float64
+	slotScratch []*Dispatched
+}
+
+// intakePush publishes one accepted submission (reservation already taken)
+// onto this shard's ring. moved reports the migration race: the tenant's
+// shard binding changed between the caller's shard lookup and the slot
+// claim, so the slot was published as a tombstone and the caller must retry
+// against the tenant's current shard. The recheck sits *between* claim and
+// publish: a producer that claims after the migration sweep's tail read is
+// guaranteed (by the seq-cst total order on tail) to observe the new
+// binding here, which is what makes the sweep see every real item that
+// could name the old shard.
+func (sh *shard) intakePush(tn *Tenant, q queued, at simtime.Time) (ok, moved bool) {
+	slot, pos, ok := sh.intake.claim()
+	if !ok {
+		return false, false
+	}
+	slot.tn, slot.q, slot.at = tn, q, at
+	if tn.sh.Load() != sh {
+		slot.tn = nil
+		slot.q = queued{}
+		sh.intake.publish(slot, pos)
+		return false, true
+	}
+	sh.intake.publish(slot, pos)
+	return true, false
+}
+
+// drainLocked absorbs the intake ring into tenant backlogs in one batch:
+// the tail is read once, every item is applied (or dropped, for tenants that
+// closed after acceptance), and the newly woken tenants are admitted to the
+// scheduler together — one weight-readjustment pass via sched.BatchAdder
+// when the policy has it — with the PR-5 preemption check run batch-wide at
+// the end. Worker wakeup signals are deferred to post (issued after the
+// shard lock is released).
+func (sh *shard) drainLocked(post *postActions) {
+	// Clear the doorbell before reading the tail: a push that misses this
+	// drain's tail read necessarily CASes drainPending after this store, so
+	// it wins the doorbell and a follow-up drain covers it.
+	sh.drainPending.Store(false)
+	n := sh.intake.beginDrain()
+	if n == 0 {
+		return
+	}
+	r := sh.r
+	now := r.clock.Now()
+	woke := sh.wokeScratch[:0]
+	for i := 0; i < n; i++ {
+		tn, q, at := sh.intake.consume()
+		if tn == nil {
+			continue // tombstone: the producer retried on another shard
+		}
+		if tn.sh.Load() != sh {
+			// The migration sweep (rebalance.go) absorbs all items of a
+			// moving tenant under both locks; a foreign item surviving to a
+			// normal drain means that protocol broke.
+			panic("rt: intake item for a tenant bound to another shard")
+		}
+		if sh.absorbLocked(tn, q, at, now) {
+			woke = append(woke, tn)
+		}
+	}
+	switch len(woke) {
+	case 0:
+	case 1:
+		// Single wakeup: the exact sequence the locked submit path used, so
+		// Manual-mode drains (batch size 1 by construction) replay the
+		// pre-intake golden traces bit for bit.
+		sh.admitLocked(woke[0], now)
+		post.signals++
+	default:
+		sh.admitBatchLocked(woke, now)
+		post.signals += len(woke)
+	}
+	sh.wokeScratch = woke[:0]
+}
+
+// absorbLocked moves one accepted submission into the tenant's backlog. The
+// backpressure reservation (tn.pending, gQueued) was taken at submit time;
+// dropped items for closing tenants release it here instead. It reports
+// whether the item woke the tenant (empty backlog before, so the tenant must
+// be admitted to the runnable set).
+func (sh *shard) absorbLocked(tn *Tenant, q queued, at, now simtime.Time) bool {
+	if tn.closing || tn.gone {
+		// Accepted before the tenant closed, dropped at absorption — the
+		// same fate Unregister deals any backlogged task.
+		tn.pending.Add(-1)
+		sh.r.decQueued(1)
+		return false
+	}
+	tn.buf[(tn.head+tn.n)%len(tn.buf)] = q
+	tn.n++
+	sh.queued++
+	if lat := now.Sub(at); lat >= 0 {
+		sh.intakeHist.Record(lat)
+	}
+	if tn.inSched || tn.wokePending {
+		// Already runnable — or already woken by an earlier item of this
+		// same drain batch (inSched is set only when the batch is admitted,
+		// so wokePending is the within-batch wake marker: outside a batch a
+		// woken tenant is always still inSched until dispatched).
+		return false
+	}
+	// Wakeup: S_i = max(F_i, v) via the scheduler's Add rule, applied by
+	// admitLocked/admitBatchLocked once the batch is collected.
+	tn.th.State = sched.Runnable
+	tn.readyAt = now
+	tn.wokeAt = now
+	tn.wokePending = true
+	return true
+}
+
+// admitLocked admits one woken tenant: scheduler Add, then the single-wakeup
+// preemption check, exactly as the pre-intake locked submit path did.
+func (sh *shard) admitLocked(tn *Tenant, now simtime.Time) {
+	mustSched(sh.sch.Add(tn.th, now))
+	tn.inSched = true
+	sh.maybePreemptLocked(tn, now)
+}
+
+// admitBatchLocked admits several woken tenants at one instant: one AddBatch
+// (one readjustment pass) when the policy implements sched.BatchAdder, plain
+// Adds otherwise, then one batch-wide preemption pass.
+func (sh *shard) admitBatchLocked(woke []*Tenant, now simtime.Time) {
+	if sh.badd != nil {
+		ths := sh.thScratch[:0]
+		for _, tn := range woke {
+			ths = append(ths, tn.th)
+		}
+		mustSched(sh.badd.AddBatch(ths, now))
+		sh.thScratch = ths[:0]
+	} else {
+		for _, tn := range woke {
+			mustSched(sh.sch.Add(tn.th, now))
+		}
+	}
+	for _, tn := range woke {
+		tn.inSched = true
+	}
+	sh.preemptBatchLocked(woke, now)
+}
+
+// applyDirectLocked absorbs one already-reserved submission bypassing the
+// ring: the locked fallback paths (ring overflow, backpressure waiters,
+// Config.LockedSubmit) and the migration sweep land here. Callers that care
+// about per-producer FIFO drain the ring first, so earlier ring items from
+// the same producer are absorbed before this one.
+func (sh *shard) applyDirectLocked(tn *Tenant, q queued, at simtime.Time, post *postActions) {
+	now := sh.r.clock.Now()
+	if sh.absorbLocked(tn, q, at, now) {
+		sh.admitLocked(tn, now)
+		post.signals++
+	}
 }
 
 // dispatchLocked picks the next tenant for the given worker (global index,
@@ -145,6 +316,56 @@ func (sh *shard) maybePreemptLocked(woken *Tenant, now simtime.Time) {
 	r.preemptFlags[victim.worker].Store(true)
 	victim.tn.preempts++
 	sh.preempts++
+}
+
+// preemptBatchLocked is maybePreemptLocked for a multi-wakeup drain batch:
+// instead of rescanning every running slice once per woken tenant, the
+// slices are ranked once into shard scratch, then each woken tenant (in
+// intake FIFO order, matching the order sequential Submits would have been
+// applied) claims the worst-ranked remaining slice it out-ranks. Already
+// flagged slices are excluded up front, exactly as the per-wakeup scan
+// excludes them.
+func (sh *shard) preemptBatchLocked(woke []*Tenant, now simtime.Time) {
+	r := sh.r
+	if !r.preempt || sh.pre == nil || sh.running < sh.workers {
+		return
+	}
+	ranks := sh.rankScratch[:0]
+	slots := sh.slotScratch[:0]
+	for w := sh.firstWorker; w < sh.firstWorker+sh.workers; w++ {
+		d := &r.dslots[w]
+		if !d.inFlight || r.preemptFlags[w].Load() {
+			continue
+		}
+		ran := now.Sub(d.start)
+		if ran < 0 {
+			ran = 0
+		}
+		ranks = append(ranks, sh.pre.PreemptRank(d.tn.th, ran))
+		slots = append(slots, d)
+	}
+	for _, tn := range woke {
+		if len(slots) == 0 {
+			break
+		}
+		worst := 0
+		for i := 1; i < len(slots); i++ {
+			if ranks[i] > ranks[worst] {
+				worst = i
+			}
+		}
+		if sh.pre.PreemptRank(tn.th, 0) >= ranks[worst] {
+			continue
+		}
+		victim := slots[worst]
+		r.preemptFlags[victim.worker].Store(true)
+		victim.tn.preempts++
+		sh.preempts++
+		last := len(slots) - 1
+		slots[worst], ranks[worst] = slots[last], ranks[last]
+		slots, ranks = slots[:last], ranks[:last]
+	}
+	sh.rankScratch, sh.slotScratch = ranks[:0], slots[:0]
 }
 
 // dropBacklogLocked discards a closing tenant's pending tasks, including an

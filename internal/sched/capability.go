@@ -62,6 +62,21 @@ type Preempter interface {
 	PreemptRank(t *Thread, ran simtime.Duration) float64
 }
 
+// BatchAdder admits several newly woken threads in one call: equivalent to
+// calling Add for each element of ts in order at the same instant, but
+// allowing the policy to run whole-set bookkeeping (weight readjustment,
+// surplus refreshes) once per batch instead of once per thread. The sharded
+// runtime's intake drain uses it so that N wakeups absorbed under one lock
+// acquisition cost one readjustment pass; policies without the capability
+// are admitted with N ordinary Adds and differ only in constant factors,
+// never in the resulting runnable set.
+type BatchAdder interface {
+	// AddBatch makes every thread of ts runnable at now, as Add would one
+	// by one. ts must not contain duplicates or already-managed threads;
+	// on error the runnable set is unchanged.
+	AddBatch(ts []*Thread, now simtime.Time) error
+}
+
 // FrameTranslator carries a thread's virtual-time position across scheduler
 // instances, the cross-shard migration hook: tag frames are per-instance
 // (each shard's virtual time advances at its own pace), so a migrating
