@@ -8,7 +8,8 @@
 //
 //	go run ./cmd/livecmp [-policies sfs,sfq,timeshare] [-workers N] [-shards N]
 //	                     [-per-tier 2] [-duration 1s] [-slice 25ms] [-preempt] [-v]
-//	go run ./cmd/livecmp -latency [-hogs 8] [-policies sfs,bvt,timeshare] ...
+//	go run ./cmd/livecmp -latency [-hogs 8] [-policies sfs,bvt,timeshare]
+//	                     [-enforce] [-adversarial] ...
 //
 // Any policy sfsched.PolicyByName knows (sfs, sfq, sfq+readjust, timeshare,
 // stride, bvt, lottery, hier) may appear in -policies; with -shards > 1 each
@@ -24,6 +25,13 @@
 // hogs' cooperative checkpoint granularity under SFS (and the other
 // fair-queueing policies), while time sharing, which implements no preemption
 // order, makes every wakeup wait out a running slice.
+//
+// -enforce arms involuntary slice enforcement (DESIGN.md §10) in -latency
+// mode, and -adversarial switches the hogs to plain tasks that never poll a
+// preemption flag — the workload cooperative preemption cannot touch. The
+// pairing shows the enforcer's contribution: adversarial hogs starve the
+// interactive tenant for whole slices unless -enforce hands their expired
+// slices off to spare workers.
 package main
 
 import (
@@ -47,7 +55,7 @@ func main() {
 	perTier := flag.Int("per-tier", 2, "tenants per weight tier (tiers 4:3:2:1)")
 	duration := flag.Duration("duration", time.Second, "load duration per policy")
 	slice := flag.Duration("slice", 25*time.Millisecond,
-		"per-dispatch CPU burn cap (floored to 10ms in -latency mode: sub-tick hog chunks are invisible to timeshare's sampled accounting)")
+		"per-dispatch CPU burn cap (sub-tick caps are safe under timeshare too: fractional-tick remainders carry)")
 	verbose := flag.Bool("v", false, "also print per-tenant share tables")
 	latency := flag.Bool("latency", false,
 		"run the Figure 6(c) latency reprise (interactive vs hogs) instead of the fairness table")
@@ -56,6 +64,10 @@ func main() {
 		"hog cooperative preemption-check granularity in -latency mode")
 	preempt := flag.Bool("preempt", false,
 		"arm cooperative wakeup preemption in the fairness runs (the tasks then yield at millisecond checkpoints when flagged; -latency mode always tabulates both arms)")
+	enforce := flag.Bool("enforce", false,
+		"arm involuntary slice enforcement in -latency mode: the enforcer interim-charges in-flight slices and hands off expired ones")
+	adversarial := flag.Bool("adversarial", false,
+		"submit -latency hogs as plain tasks that never poll preemption flags — the workload only -enforce can bound")
 	flag.Parse()
 
 	cfg := experiments.LiveConfig{
@@ -86,15 +98,24 @@ func main() {
 		os.Exit(2)
 	}
 	if *latency {
-		fmt.Printf("livecmp: interactive latency vs %d hogs, %s for %v per cell (preempt on/off)\n",
-			*hogs, strings.Join(names, " vs "), *duration)
+		mode := ""
+		if *enforce {
+			mode += ", enforcement armed"
+		}
+		if *adversarial {
+			mode += ", adversarial hogs"
+		}
+		fmt.Printf("livecmp: interactive latency vs %d hogs, %s for %v per cell (preempt on/off%s)\n",
+			*hogs, strings.Join(names, " vs "), *duration, mode)
 		results := experiments.CrossPolicyLiveLatency(factories, experiments.LiveLatencyConfig{
-			Workers:  *workers,
-			Shards:   *shards,
-			Hogs:     *hogs,
-			Duration: *duration,
-			Grant:    *grant,
-			SliceCap: *slice,
+			Workers:     *workers,
+			Shards:      *shards,
+			Hogs:        *hogs,
+			Duration:    *duration,
+			Grant:       *grant,
+			SliceCap:    *slice,
+			Enforce:     *enforce,
+			Adversarial: *adversarial,
 		})
 		fmt.Print(experiments.LatencyTable(results))
 		return

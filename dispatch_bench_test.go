@@ -30,7 +30,7 @@ import (
 // and submitters contend like they would on a 16-CPU host (on smaller hosts
 // the OS timeslices the threads — the regime where a held central lock
 // stalls every peer).
-func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.RuntimePolicy, preempt bool) {
+func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.RuntimePolicy, preempt, enforce bool) {
 	const (
 		workers    = 16
 		submitters = 16
@@ -45,6 +45,7 @@ func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.Runtim
 		QueueCap:       2,
 		RebalanceEvery: -1, // static uniform tenants; isolate dispatch cost
 		Preempt:        preempt,
+		Enforce:        enforce,
 	})
 	defer r.Close()
 	tenants := make([]*sfsched.Tenant, nTenants)
@@ -85,7 +86,7 @@ func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.Runtim
 func BenchmarkDispatchSharded(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d/workers=16", shards), func(b *testing.B) {
-			benchmarkDispatch(b, shards, 16384, nil, false)
+			benchmarkDispatch(b, shards, 16384, nil, false, false)
 		})
 	}
 }
@@ -102,7 +103,23 @@ func BenchmarkDispatchSharded(b *testing.B) {
 func BenchmarkDispatchPreempt(b *testing.B) {
 	for _, preempt := range []bool{false, true} {
 		b.Run(fmt.Sprintf("preempt=%v/shards=4/workers=16", preempt), func(b *testing.B) {
-			benchmarkDispatch(b, 4, 4096, nil, preempt)
+			benchmarkDispatch(b, 4, 4096, nil, preempt, false)
+		})
+	}
+}
+
+// BenchmarkDispatchEnforce measures the contended pipeline with involuntary
+// slice enforcement armed versus disarmed: every dispatch additionally arms
+// the shard's timer wheel and every completion disarms it, while the
+// background enforcer interim-charges whatever slices it catches in flight
+// (the no-op tasks complete far inside a tick, so handoffs are never
+// triggered — the pair isolates the steady-state bookkeeping cost, not the
+// hog-recovery path the enforcement tests pin). The BENCH_7.json benchcmp
+// gate bounds the armed/disarmed within-run ratio.
+func BenchmarkDispatchEnforce(b *testing.B) {
+	for _, enforce := range []bool{false, true} {
+		b.Run(fmt.Sprintf("enforce=%v/shards=4/workers=16", enforce), func(b *testing.B) {
+			benchmarkDispatch(b, 4, 4096, nil, true, enforce)
 		})
 	}
 }
@@ -191,7 +208,7 @@ func BenchmarkDispatchPolicy(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("policy=%s/shards=4/workers=16", name), func(b *testing.B) {
-			benchmarkDispatch(b, 4, 4096, policy, false)
+			benchmarkDispatch(b, 4, 4096, policy, false, false)
 		})
 	}
 }

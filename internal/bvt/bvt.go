@@ -222,6 +222,14 @@ func (b *BVT) PreemptRank(t *sched.Thread, ran simtime.Duration) float64 {
 	return t.Start + ran.Seconds()/t.Phi - t.Warp
 }
 
+// InterimCharge implements sched.InterimCharger by delegating to Charge:
+// A_i += ran/φ_i is linear in ran, so mid-slice installments compose with
+// the boundary charge for the remainder. The warp is a dispatch-time offset,
+// not accounting state, so installments do not perturb it.
+func (b *BVT) InterimCharge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+	b.Charge(t, ran, now)
+}
+
 // Threads returns the runnable threads in effective-virtual-time order.
 func (b *BVT) Threads() []*sched.Thread { return b.byEffective.Slice() }
 

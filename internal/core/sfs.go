@@ -853,6 +853,18 @@ func (s *SFS) PreemptRank(t *sched.Thread, ran simtime.Duration) float64 {
 	return t.Phi*(t.Start-s.v) + ran.Seconds()
 }
 
+// InterimCharge implements sched.InterimCharger by delegating to Charge:
+// the tag advance ran/φ is linear in ran, so charging a slice in
+// installments lands the tags where one boundary charge would have — this
+// is the §2.3 variable-length-quanta property. In fixed-point mode each
+// installment's division truncates separately, so a split slice can differ
+// from an unsplit one by a few ulps of tag; the enforcer is only armed on
+// live runtimes, never under the golden differential traces, so machine
+// comparisons are unaffected.
+func (s *SFS) InterimCharge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+	s.Charge(t, ran, now)
+}
+
 // Threads returns the runnable threads in ascending start-tag order (tests
 // and metrics; the sort is paid here, off the scheduling hot path).
 func (s *SFS) Threads() []*sched.Thread {

@@ -23,6 +23,7 @@ import (
 
 	"sfsched/internal/metrics"
 	"sfsched/internal/rt"
+	"sfsched/internal/simtime"
 )
 
 // LiveLatencyConfig parameterizes one wall-clock latency run.
@@ -45,17 +46,31 @@ type LiveLatencyConfig struct {
 	// Think is the interactive tenant's idle time between wakeups. 0 = 5 ms.
 	Think time.Duration
 	// SliceCap bounds how much CPU a hog burns per dispatch, as in
-	// LiveConfig. 0 = 25 ms; values below one timeshare tick (10 ms) are
-	// floored to it — see the accounting note in RunLiveLatency.
+	// LiveConfig. 0 = 25 ms. Sub-tick caps are safe under time sharing too:
+	// the scheduler carries fractional-tick remainders, so hog chunks below
+	// one 10 ms tick still decay the hogs' counters at their true CPU rate.
 	SliceCap time.Duration
 	// Preempt arms cooperative wakeup preemption.
 	Preempt bool
+	// Enforce arms involuntary slice enforcement (rt.Config.Enforce): the
+	// background enforcer interim-charges in-flight slices and hands off
+	// expired slices of tasks that cannot or will not yield.
+	Enforce bool
+	// Adversarial submits the hogs as plain Tasks that never poll a
+	// preemption flag — the worst case cooperative preemption cannot touch.
+	// Without Enforce, a woken interactive tenant waits out whole hog
+	// slices; with it, the enforcer detaches each expired hog slice and a
+	// spare worker takes over the lane, bounding the wake latency by the
+	// enforcement tick. The cooperative checkpoint granularity (Grant) is
+	// ignored for adversarial hogs.
+	Adversarial bool
 }
 
 // LiveLatencyResult is the outcome of one policy's wall-clock latency run.
 type LiveLatencyResult struct {
 	Policy  string // scheduler's Name() as reported by the shards
 	Preempt bool
+	Enforce bool
 	Hogs    int
 	Wakes   uint64 // interactive wakeups measured
 	// Interactive wakeup→first-dispatch latency quantiles, from the
@@ -64,6 +79,9 @@ type LiveLatencyResult struct {
 	// Preemptions is the number of cooperative preemption flags raised
 	// against hog slices.
 	Preemptions int64
+	// Handoffs is the number of involuntary handoffs the enforcer performed
+	// against hog slices (0 unless Enforce).
+	Handoffs int64
 }
 
 // RunLiveLatency subjects one policy to the interactive-vs-hogs workload on
@@ -102,21 +120,28 @@ func RunLiveLatency(policy rt.Policy, cfg LiveLatencyConfig) LiveLatencyResult {
 	if sliceCap <= 0 {
 		sliceCap = 25 * time.Millisecond
 	}
-	// Floor the per-dispatch burn at one timeshare tick (10 ms). Hog chunks
-	// below the tick are invisible to tick-sampled accounting — the 2.2
-	// kernel's "yield before the tick and ride free" exploit — so timeshare
-	// hog counters would never decay and a woken tenant with equal goodness
-	// could starve behind them for minutes, which is an accounting artifact,
-	// not the Figure 6(c) comparison this experiment reprises.
-	if sliceCap < 10*time.Millisecond {
-		sliceCap = 10 * time.Millisecond
-	}
 	r := rt.New(rt.Config{Workers: workers, Shards: shards, Policy: policy,
-		QueueCap: 2, Preempt: cfg.Preempt})
+		QueueCap: 2, Preempt: cfg.Preempt, Enforce: cfg.Enforce})
 	for i := 0; i < hogs; i++ {
 		hog, err := r.Register(fmt.Sprintf("hog-%d", i), 1)
 		if err != nil {
 			panic(err) // static configuration; cannot fail under valid weights
+		}
+		if cfg.Adversarial {
+			// A non-cooperating compute-bound tenant: a plain Task that
+			// burns its slice with no checkpoints — deaf to preemption
+			// flags, recoverable only by involuntary handoff.
+			if err := hog.Submit(func(slice simtime.Duration) bool {
+				d := slice.Std()
+				if d > sliceCap {
+					d = sliceCap
+				}
+				spinFor(d)
+				return false // compute-bound: never finishes, stays backlogged
+			}); err != nil {
+				panic(err)
+			}
+			continue
 		}
 		// A well-behaved compute-bound tenant: spin through the slice in
 		// checkpoint-sized chunks, yielding early when flagged; unfinished
@@ -157,7 +182,7 @@ func RunLiveLatency(policy rt.Policy, cfg LiveLatencyConfig) LiveLatencyResult {
 		}
 		<-done
 	}
-	res := LiveLatencyResult{Preempt: cfg.Preempt, Hogs: hogs}
+	res := LiveLatencyResult{Preempt: cfg.Preempt, Enforce: cfg.Enforce, Hogs: hogs}
 	for _, s := range r.Stats() {
 		if s.Name == "interact" {
 			res.Wakes = s.Wake.Count
@@ -167,6 +192,7 @@ func RunLiveLatency(policy rt.Policy, cfg LiveLatencyConfig) LiveLatencyResult {
 			res.Max = s.Wake.Max.Std()
 		} else {
 			res.Preemptions += s.Preemptions
+			res.Handoffs += s.Handoffs
 		}
 	}
 	for _, ss := range r.ShardStats() {
@@ -191,24 +217,28 @@ func CrossPolicyLiveLatency(policies []rt.Policy, cfg LiveLatencyConfig) []LiveL
 }
 
 // LatencyTable renders latency results Figure-6(c)-style: one row per
-// (policy, preemption) cell with the interactive dispatch-latency quantiles.
+// (policy, preemption, enforcement) cell with the interactive
+// dispatch-latency quantiles.
 func LatencyTable(results []LiveLatencyResult) string {
 	tbl := &metrics.Table{
-		Headers: []string{"policy", "preempt", "hogs", "wakes", "p50_ms", "p95_ms", "p99_ms", "max_ms", "preemptions"},
+		Headers: []string{"policy", "preempt", "enforce", "hogs", "wakes", "p50_ms", "p95_ms", "p99_ms", "max_ms", "preemptions", "handoffs"},
 	}
 	ms := func(d time.Duration) string {
 		return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
 	}
-	for _, res := range results {
-		onOff := "off"
-		if res.Preempt {
-			onOff = "on"
+	onOff := func(b bool) string {
+		if b {
+			return "on"
 		}
-		tbl.AddRow(res.Policy, onOff,
+		return "off"
+	}
+	for _, res := range results {
+		tbl.AddRow(res.Policy, onOff(res.Preempt), onOff(res.Enforce),
 			fmt.Sprintf("%d", res.Hogs),
 			fmt.Sprintf("%d", res.Wakes),
 			ms(res.P50), ms(res.P95), ms(res.P99), ms(res.Max),
-			fmt.Sprintf("%d", res.Preemptions))
+			fmt.Sprintf("%d", res.Preemptions),
+			fmt.Sprintf("%d", res.Handoffs))
 	}
 	return tbl.String()
 }

@@ -8,6 +8,7 @@ import (
 	"sfsched/internal/core"
 	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
+	"sfsched/internal/timeshare"
 )
 
 // TestRunLiveLatencySmoke drives the wall-clock Figure 6(c) workload briefly
@@ -50,16 +51,48 @@ func TestRunLiveLatencySmoke(t *testing.T) {
 // TestLatencyTable pins the renderer on synthetic results.
 func TestLatencyTable(t *testing.T) {
 	out := LatencyTable([]LiveLatencyResult{
-		{Policy: "SFS", Preempt: true, Hogs: 8, Wakes: 100,
+		{Policy: "SFS", Preempt: true, Enforce: true, Hogs: 8, Wakes: 100,
 			P50: time.Millisecond, P95: 2 * time.Millisecond,
-			P99: 3 * time.Millisecond, Max: 4 * time.Millisecond, Preemptions: 42},
+			P99: 3 * time.Millisecond, Max: 4 * time.Millisecond,
+			Preemptions: 42, Handoffs: 7},
 		{Policy: "timeshare", Preempt: false, Hogs: 8, Wakes: 20,
 			P50: 90 * time.Millisecond, P95: 180 * time.Millisecond,
 			P99: 190 * time.Millisecond, Max: 200 * time.Millisecond},
 	})
-	for _, want := range []string{"SFS", "timeshare", "on", "off", "2.00", "180.00", "42", "p95_ms"} {
+	for _, want := range []string{"SFS", "timeshare", "on", "off", "2.00", "180.00", "42", "p95_ms", "enforce", "handoffs", "7"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunLiveLatencyTimeshareSubTick is the live regression for the timeshare
+// sub-tick accounting hole: with a SliceCap below one 10 ms tick, every hog
+// chunk used to be invisible to tick-sampled accounting — hog counters never
+// decayed, epochs never turned, and the woken interactive tenant lost every
+// goodness tie for the life of the run (this test hung before the
+// fractional-tick remainder carry). With the carry, hog goodness decays at
+// the hogs' true CPU rate and the interactive tenant's wakes go through.
+func TestRunLiveLatencyTimeshareSubTick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock spin workload skipped in -short mode")
+	}
+	policy := func(cpus int) sched.Scheduler { return timeshare.New(cpus) }
+	res := RunLiveLatency(policy, LiveLatencyConfig{
+		Workers:  2,
+		Hogs:     3,
+		Duration: 300 * time.Millisecond,
+		Grant:    500 * time.Microsecond,
+		SliceCap: 5 * time.Millisecond, // below the 10 ms tick: the hole
+		Preempt:  false,                // timeshare has no preemption order
+	})
+	if res.Policy != "timeshare" {
+		t.Errorf("policy %q, want timeshare", res.Policy)
+	}
+	if res.Wakes == 0 {
+		t.Error("interactive tenant starved: no wakes recorded")
+	}
+	if res.P95 < res.P50 || res.Max < res.P95 {
+		t.Errorf("quantiles not ordered: p50 %v, p95 %v, max %v", res.P50, res.P95, res.Max)
 	}
 }

@@ -391,6 +391,13 @@ func (h *Hier) PreemptRank(t *sched.Thread, ran simtime.Duration) float64 {
 	return t.Phi*(t.Start-h.v) + ran.Seconds()
 }
 
+// InterimCharge implements sched.InterimCharger by delegating to Charge: the
+// hierarchical tag advance ran/φ is linear in ran, so mid-slice installments
+// compose exactly with the boundary charge for the remainder.
+func (h *Hier) InterimCharge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+	h.Charge(t, ran, now)
+}
+
 // readjust recomputes runnable threads' φ as their hierarchical GMS rates:
 // nested water-filling, classes first, then threads within each class. A
 // class whose rate is unchanged and whose membership and member weights are

@@ -151,6 +151,63 @@ func FuzzIntakeRing(f *testing.F) {
 	})
 }
 
+// TestIntakeOverflowPreservesTenantFIFO is the two-route interleaving
+// regression: a tenant whose Submit falls back to the locked slow path while
+// its earlier submissions are still ring-resident must NOT have the slow-path
+// task admitted ahead of them. The slow path guarantees this by draining the
+// shard's intake ring before its direct admission (see the ring-full branch
+// of Tenant.submit and enqueueSlow); this test would catch any reordering.
+//
+// The single worker is pinned by a gated task, so nothing drains the ring
+// while one tenant submits more than intakeCap tasks from one goroutine:
+// submission intakeCap+1 finds the ring full with every earlier submission
+// still ring-resident — exactly the inversion window — and later submissions
+// land in the ring again behind the slow-path admission, interleaving the
+// two routes both ways. The recorded execution order must be submission
+// order.
+func TestIntakeOverflowPreservesTenantFIFO(t *testing.T) {
+	const n = intakeCap + intakeCap/2 // forces the ring-full slow path mid-burst
+	r := New(Config{Workers: 1, Quantum: simtime.Millisecond, QueueCap: n + 1})
+	defer r.Close()
+	gate, err := r.Register("gate", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Register("rec", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	running := make(chan struct{})
+	release := make(chan struct{})
+	if err := gate.Submit(Once(func() {
+		close(running)
+		<-release
+	})); err != nil {
+		t.Fatal(err)
+	}
+	<-running // the only worker is now pinned; the intake ring cannot drain
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		if err := rec.Submit(Once(func() { order = append(order, i) })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	r.Drain()
+	if len(order) != n {
+		t.Fatalf("ran %d tasks, want %d", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("per-tenant FIFO inversion: position %d ran task %d", i, got)
+		}
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSubmitHotPathZeroAlloc pins the 0 allocs/op guarantee of the submit
 // side on both routes: the intake-ring fast path (claim, publish, doorbell,
 // batched drain) and the RuntimeConfig.LockedSubmit baseline it is gated

@@ -265,6 +265,116 @@ func TestRaceChurnStress(t *testing.T) {
 		submitted.Load(), rejected.Load())
 }
 
+// TestRaceQuiescentGateStress drives every reservation-release path at once —
+// panicking tasks (the recover-and-drop path), tenants unregistered mid-load
+// with backlogs still queued (the backlog-drop path), tight backpressure
+// (blocking submits woken by close broadcasts), and involuntary enforcement
+// handoffs of never-yielding slices — then drains and runs CheckInvariants,
+// whose exact quiescent-state check demands that every tenant's lock-free
+// backpressure gate equal its absorbed backlog once gQueued reads zero. A
+// reservation leaked on any of those paths (the hole the pre-PR-7 one-sided
+// check could not see outside Manual mode) fails the final check.
+func TestRaceQuiescentGateStress(t *testing.T) {
+	r := rt.New(rt.Config{Workers: 4, Shards: 2, Quantum: simtime.Millisecond,
+		QueueCap: 2, Preempt: true, Enforce: true,
+		EnforceTick: 500 * simtime.Microsecond})
+	defer r.Close()
+	const nTenants = 10
+	tenants := make([]*rt.Tenant, nTenants)
+	for i := range tenants {
+		tn, err := r.Register("quiesce", 1+float64(i%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenants[i] = tn
+	}
+	var wg sync.WaitGroup
+	for _, tn := range tenants {
+		wg.Add(1)
+		go func(tn *rt.Tenant) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				var err error
+				switch j % 5 {
+				case 0: // panicking task: its drop must release the reservation
+					err = tn.Submit(rt.Once(func() { panic("quiesce: deliberate task panic") }))
+				case 1: // never-yielding hog slice: the enforcer hands it off
+					err = tn.Submit(func(simtime.Duration) bool {
+						spin(2 * time.Millisecond)
+						return true
+					})
+				case 2: // cooperative slice, possibly flagged mid-run
+					err = tn.SubmitPreemptible(func(ctx rt.SliceCtx) bool {
+						_ = ctx.Preempted()
+						return true
+					})
+				case 3:
+					if err = tn.TrySubmit(rt.Once(func() {})); errors.Is(err, rt.ErrBackpressure) {
+						err = nil // tight QueueCap: expected
+					}
+				default:
+					err = tn.Submit(rt.Once(func() {}))
+				}
+				if errors.Is(err, rt.ErrTenantClosed) {
+					return // unregistered mid-load by the churner below
+				}
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(tn)
+	}
+	// Churner: unregister tenants whose submitters are still mid-burst, so
+	// queued backlogs (and blocked submitters) are dropped under fire.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			time.Sleep(5 * time.Millisecond)
+			if err := r.Unregister(tenants[i]); err != nil &&
+				!errors.Is(err, rt.ErrTenantClosed) {
+				t.Errorf("unregister: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+	r.Drain()
+	// Deterministic handoff phase: plain hogs that block on a channel. A
+	// spinning hog can dodge the enforcer on a single-CPU host (the enforcer
+	// goroutine only gets the processor when the workers are idle), but a
+	// blocked closure does not compete for CPU, so each of these slices is
+	// reliably detached at its deadline — which routes their reservation
+	// release through the detached-Complete path the final gate check must
+	// also account for.
+	release := make(chan struct{})
+	const gated = 4 // = Workers: every gated hog dispatches immediately
+	for i := 3; i < 3+gated; i++ {
+		if err := tenants[i].Submit(func(simtime.Duration) bool {
+			<-release
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for deadline := time.Now().Add(5 * time.Second); r.Handoffs() < gated &&
+		time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
+	handoffs := r.Handoffs()
+	close(release)
+	r.Drain()
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if r.TaskPanics() == 0 {
+		t.Fatal("stress ran without exercising the panicking-task drop path")
+	}
+	if handoffs < gated {
+		t.Fatalf("enforcer handed off %d gated hogs, want %d", handoffs, gated)
+	}
+}
+
 // TestRaceDrainCloseRace closes the runtime while submitters are blocked on
 // backpressure; everyone must unblock promptly with ErrRuntimeClosed.
 func TestRaceDrainCloseRace(t *testing.T) {

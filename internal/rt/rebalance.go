@@ -141,7 +141,10 @@ func (r *Runtime) Rebalance() int {
 		totals[i] = sh.weight
 		var cands []candidate
 		for th, tn := range sh.byThread {
-			if tn.closing || tn.gone || th.Running() || tn.waiters > 0 {
+			// A detached tenant's head task is still executing out of band on
+			// this shard even though its thread shows no CPU; it is pinned here
+			// until the handed-off slice's Complete, exactly like a running one.
+			if tn.closing || tn.gone || th.Running() || tn.detached || tn.waiters > 0 {
 				continue
 			}
 			surplus := 0.0
@@ -207,7 +210,7 @@ func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
 	lo.mu.Lock()
 	hi.mu.Lock()
 	th := tn.th
-	if tn.sh.Load() != src || tn.closing || tn.gone || th.Running() || tn.waiters > 0 {
+	if tn.sh.Load() != src || tn.closing || tn.gone || th.Running() || tn.detached || tn.waiters > 0 {
 		hi.mu.Unlock()
 		lo.mu.Unlock()
 		return false
@@ -310,8 +313,18 @@ type ShardStat struct {
 	// and wakeup→first-dispatch latency distributions (recorded where the
 	// dispatch happened, so they stay with the shard when tenants migrate).
 	Preemptions int64
-	Dispatch    LatencyStat
-	Wake        LatencyStat
+	// Enforcement counters (enforcer.go), all zero with enforcement disarmed:
+	// Handoffs counts involuntary handoffs of expired plain-Task slices,
+	// EnforceFlags the preemption flags raised by slice expiry (a subset of
+	// Preemptions), Interims the mid-slice charge installments applied, and
+	// Overrun the distribution of how far past their granted slice handed-off
+	// tasks kept running before their closure returned.
+	Handoffs     int64
+	EnforceFlags int64
+	Interims     int64
+	Overrun      LatencyStat
+	Dispatch     LatencyStat
+	Wake         LatencyStat
 	// Intake is the submit→ready stage: how long accepted submissions sat
 	// in this shard's intake ring before a drain absorbed them into their
 	// tenant's backlog (near zero unless every worker is pinned by
@@ -341,6 +354,10 @@ func (r *Runtime) ShardStats() []ShardStat {
 		st.Service = sh.service
 		st.Jain = 1
 		st.Preemptions = sh.preempts
+		st.Handoffs = sh.handoffs
+		st.EnforceFlags = sh.enforceFlags
+		st.Interims = sh.interims
+		st.Overrun = latencyStatOf(&sh.overrunHist)
 		st.Dispatch = latencyStatOf(&sh.waitHist)
 		st.Wake = latencyStatOf(&sh.wakeHist)
 		st.Intake = latencyStatOf(&sh.intakeHist)

@@ -209,6 +209,30 @@ type Config struct {
 	// (BenchmarkSubmitWake, BENCH_6.json); production configurations leave
 	// it false.
 	LockedSubmit bool
+	// Enforce arms involuntary slice enforcement (enforcer.go): every
+	// dispatch is registered on its shard's timer wheel with deadline
+	// start+slice, and an enforcement pass — periodic in concurrent mode,
+	// Enforce() in Manual mode — interim-charges running slices
+	// (sched.InterimCharger, bounding tag staleness to one tick), raises the
+	// preemption flag on expired PreemptibleTask slices, and involuntarily
+	// hands off plain Task slices that expired or carry a raised preemption
+	// flag: the overrun is charged, the tenant leaves the runnable set until
+	// the closure returns, and the worker's lane is lent to a spare worker so
+	// the shard keeps its CPU count honest. Disarmed (the default), none of
+	// this machinery runs and dispatch traces are bit-identical to earlier
+	// releases. See DESIGN.md §10.
+	Enforce bool
+	// EnforceTick is the enforcement granularity: the timer-wheel tick, the
+	// interim-charge period, and the bound on how long a flagged
+	// non-cooperating task keeps its lane. 0 means DefaultEnforceTick.
+	EnforceTick simtime.Duration
+	// SpareWorkers bounds the spare worker pool per shard: parked goroutines
+	// that take over a lane lent away by an involuntary handoff, so a shard
+	// whose workers are stuck in non-cooperating closures still dispatches.
+	// 0 means one spare per shard worker; negative disables spares (a lane
+	// freed by a handoff then idles until the hog returns). Ignored in
+	// Manual mode, where the driver owns all dispatching.
+	SpareWorkers int
 }
 
 // Tenant is a registered principal: one scheduler thread plus a bounded FIFO
@@ -234,6 +258,12 @@ type Tenant struct {
 	closing     bool // Unregister called; drains in-flight work, drops backlog
 	gone        bool // fully unregistered
 	headStarted bool // buf[head] has been dispatched at least once
+	// detached marks an involuntary handoff in progress: the head task's
+	// closure is still executing out of band while the thread has left the
+	// runnable set (enforcer.go). The tenant is pinned to its shard and must
+	// not be re-admitted, dispatched, migrated or finalized until the
+	// detached slice's Complete clears the flag.
+	detached bool
 
 	// pending is the lock-free backpressure gate: accepted-but-not-retired
 	// tasks, incremented by a submit-side CAS reservation before the intake
@@ -258,6 +288,7 @@ type Tenant struct {
 
 	preempts int64        // slices of this tenant flagged for preemption (shard lock)
 	resumes  int64        // continuation dispatches of unfinished tasks (shard lock)
+	handoffs int64        // involuntary handoffs of this tenant's slices (shard lock)
 	panics   atomic.Int64 // panicking tasks attributed to this tenant
 
 	notFull *sync.Cond // Submit waits here under backpressure
@@ -270,20 +301,24 @@ type Tenant struct {
 // regMu → shard.mu (ascending shard id when taking several) → quietMu.
 type Runtime struct {
 	shards      []*shard
-	workerShard []*shard     // global worker index → owning shard
-	workerLocal []int        // global worker index → CPU index within the shard
-	dslots      []Dispatched // per-worker dispatch slot, reused across slices
-	// preemptFlags holds the per-worker cooperative preemption flags, kept
-	// outside the Dispatched slots so the running task can poll its flag
-	// lock-free while the shard lock holder raises it. A flag is raised by
-	// a wakeup (maybePreemptLocked) and cleared by the worker's next
-	// dispatch.
-	preemptFlags []atomic.Bool
+	workerShard []*shard // regular worker index → owning shard
+	workerLocal []int    // regular worker index → CPU index within the shard
+	// dslots holds one preallocated Dispatched record per dispatch slot —
+	// regular workers first, then spare workers — reused across slices so
+	// the hot path allocates nothing. The records are pointers because an
+	// involuntary handoff detaches the in-flight record from its slot (the
+	// slot gets a fresh record so the lane's next dispatch cannot alias the
+	// still-running slice) and the detached record lives on until its
+	// out-of-band Complete.
+	dslots       []*Dispatched
+	spareShard   []*shard // spare slot index − len(workerShard) → owning shard
 	clock        Clock
 	qcap         int
 	manual       bool
 	preempt      bool
 	lockedSubmit bool
+	enforce      bool
+	enforceTick  simtime.Duration
 
 	closed atomic.Bool
 
@@ -295,12 +330,14 @@ type Runtime struct {
 	quietCond  *sync.Cond
 	taskPanics atomic.Int64
 	migrations atomic.Int64
+	handoffs   atomic.Int64
 
 	regMu   sync.Mutex
 	tenants []*Tenant
 	nextID  int
 
 	stopRebalance chan struct{}
+	stopEnforce   chan struct{}
 	wg            sync.WaitGroup
 }
 
@@ -336,8 +373,12 @@ func New(cfg Config) *Runtime {
 	if qcap <= 0 {
 		qcap = 256
 	}
+	etick := cfg.EnforceTick
+	if etick <= 0 {
+		etick = DefaultEnforceTick
+	}
 	r := &Runtime{clock: clock, qcap: qcap, manual: cfg.Manual, preempt: cfg.Preempt,
-		lockedSubmit: cfg.LockedSubmit}
+		lockedSubmit: cfg.LockedSubmit, enforce: cfg.Enforce, enforceTick: etick}
 	r.quietCond = sync.NewCond(&r.quietMu)
 	base, extra := cfg.Workers/nshards, cfg.Workers%nshards
 	for i := 0; i < nshards; i++ {
@@ -367,24 +408,48 @@ func New(cfg Config) *Runtime {
 		sh.frame, _ = sh.sch.(sched.FrameTranslator)
 		sh.pre, _ = sh.sch.(sched.Preempter)
 		sh.badd, _ = sh.sch.(sched.BatchAdder)
+		sh.interim, _ = sh.sch.(sched.InterimCharger)
 		sh.workCond = sync.NewCond(&sh.mu)
+		sh.spareCond = sync.NewCond(&sh.mu)
 		sh.intake.init()
 		sh.wokeScratch = make([]*Tenant, 0, intakeCap)
 		sh.thScratch = make([]*sched.Thread, 0, intakeCap)
 		sh.rankScratch = make([]float64, 0, count)
 		sh.slotScratch = make([]*Dispatched, 0, count)
+		sh.active = make([]*Dispatched, 0, count)
+		sh.lanes = make([]int, 0, count)
+		sh.wheel.tick = etick
 		r.shards = append(r.shards, sh)
 		for local := 0; local < count; local++ {
 			r.workerShard = append(r.workerShard, sh)
 			r.workerLocal = append(r.workerLocal, local)
 		}
 	}
-	r.dslots = make([]Dispatched, len(r.workerShard))
-	r.preemptFlags = make([]atomic.Bool, len(r.workerShard))
+	// Spare worker slots: only meaningful in concurrent mode (Manual drivers
+	// reuse worker indices after a handoff, since the handoff frees the slot).
+	if !cfg.Manual && cfg.SpareWorkers >= 0 {
+		for _, sh := range r.shards {
+			spares := cfg.SpareWorkers
+			if spares == 0 {
+				spares = sh.workers
+			}
+			for s := 0; s < spares; s++ {
+				r.spareShard = append(r.spareShard, sh)
+			}
+		}
+	}
+	r.dslots = make([]*Dispatched, len(r.workerShard)+len(r.spareShard))
+	for i := range r.dslots {
+		r.dslots[i] = &Dispatched{}
+	}
 	if !cfg.Manual {
 		for w := range r.workerShard {
 			r.wg.Add(1)
-			go r.worker(w)
+			go r.worker(w, r.workerShard[w], r.workerLocal[w])
+		}
+		for s, sh := range r.spareShard {
+			r.wg.Add(1)
+			go r.worker(len(r.workerShard)+s, sh, -1)
 		}
 		if nshards > 1 && cfg.RebalanceEvery >= 0 {
 			every := cfg.RebalanceEvery
@@ -394,6 +459,11 @@ func New(cfg Config) *Runtime {
 			r.stopRebalance = make(chan struct{})
 			r.wg.Add(1)
 			go r.rebalanceLoop(every)
+		}
+		if cfg.Enforce {
+			r.stopEnforce = make(chan struct{})
+			r.wg.Add(1)
+			go r.enforceLoop()
 		}
 	}
 	return r
@@ -499,7 +569,10 @@ func (r *Runtime) Unregister(tn *Tenant) error {
 	tn.closing = true
 	tn.closingAtomic.Store(true)
 	tn.notFull.Broadcast()
-	if tn.th.Running() {
+	if tn.th.Running() || tn.detached {
+		// A detached tenant's head task is still executing out of band even
+		// though its thread shows no CPU; dropping its backlog now would pop
+		// the entry the in-flight Complete will pop again.
 		sh.mu.Unlock()
 		return nil // Complete finalizes after the in-flight slice
 	}
@@ -613,16 +686,22 @@ func (tn *Tenant) TrySubmitPreemptible(task PreemptibleTask) error {
 // never be taken inside a shard lock). The struct lives on its caller's
 // stack; run leaves it reusable.
 type postActions struct {
-	sh        *shard
-	signals   int     // workCond signals owed to sh
-	finalized *Tenant // tenant finalized under the shard lock, if any
+	sh           *shard
+	signals      int     // workCond signals owed to sh
+	spareSignals int     // spareCond signals owed to sh (lanes freed by handoffs)
+	finalized    *Tenant // tenant finalized under the shard lock, if any
 }
 
-func (p *postActions) pending() bool { return p.signals > 0 || p.finalized != nil }
+func (p *postActions) pending() bool {
+	return p.signals > 0 || p.spareSignals > 0 || p.finalized != nil
+}
 
 func (p *postActions) run(r *Runtime) {
 	for ; p.signals > 0; p.signals-- {
 		p.sh.workCond.Signal()
+	}
+	for ; p.spareSignals > 0; p.spareSignals-- {
+		p.sh.spareCond.Signal()
 	}
 	if p.finalized != nil {
 		r.regMu.Lock()
@@ -775,12 +854,36 @@ type Dispatched struct {
 	r        *Runtime
 	sh       *shard
 	tn       *Tenant
-	worker   int // global worker index
-	local    int // CPU index within the shard
+	worker   int // global dispatch slot index
+	local    int // CPU index within the shard (the lane)
 	start    simtime.Time
 	slice    simtime.Duration
 	task     queued
 	inFlight bool // set by Dispatch, cleared by Complete
+	// preempted is the cooperative preemption flag, embedded in the record
+	// so the running task can poll it lock-free (SliceCtx.Preempted) while
+	// the shard lock holder raises it. Raised by a wakeup
+	// (maybePreemptLocked) or by the enforcer at slice expiry; cleared when
+	// the record's slot is next dispatched.
+	preempted atomic.Bool
+	// charged is how much of the slice has already been accounted to the
+	// scheduler by mid-slice installments (interim charges, the settlement
+	// at an involuntary handoff); Complete charges only the remainder.
+	// lastCharge is the instant of the newest installment — dispatch start
+	// when none have landed — so preemption ranking projects tags forward by
+	// only the genuinely uncharged in-flight service.
+	charged    simtime.Duration
+	lastCharge simtime.Time
+	// detached marks an involuntarily handed-off slice: the record has been
+	// swapped out of its worker slot and its tenant out of the runnable set,
+	// and the closure is running on borrowed time until Complete.
+	detached bool
+	// Timer-wheel linkage (enforcer.go), touched only under the shard lock
+	// and only when enforcement is armed.
+	wheelNext, wheelPrev *Dispatched
+	deadline             simtime.Time
+	armed                bool
+	activeIdx            int // position in the shard's active-slice list
 }
 
 // Tenant returns the tenant whose task was dispatched.
@@ -795,7 +898,15 @@ func (d *Dispatched) Worker() int { return d.worker }
 // Preempted reports whether this slice carries a raised cooperative
 // preemption flag. Concurrent tasks read it through their SliceCtx; Manual
 // drivers read it directly to model a cooperating task deciding to yield.
-func (d *Dispatched) Preempted() bool { return d.r.preemptFlags[d.worker].Load() }
+func (d *Dispatched) Preempted() bool { return d.preempted.Load() }
+
+// Detached reports whether the enforcer involuntarily handed this slice off:
+// its lane and dispatch slot were confiscated and its tenant left the
+// runnable set, but the slice still owes its Complete — which a Manual driver
+// issues when its workload model says the non-cooperating closure finally
+// returned. Manual-mode use only: the driver thread is the only writer and
+// reader. (Concurrent workers learn the same fact under the shard lock.)
+func (d *Dispatched) Detached() bool { return d.detached }
 
 // Dispatch asks the worker's shard scheduler for the next tenant to run and
 // marks it running, or returns nil when the shard has no runnable
@@ -862,11 +973,52 @@ func (d *Dispatched) completeLocked(done bool, post *postActions) simtime.Durati
 		elapsed = 0
 	}
 	th := tn.th
-	th.CPU = sched.NoCPU
-	th.LastCPU = d.local
-	sh.running--
-	sh.sch.Charge(th, elapsed, now)
-	sh.service += elapsed
+	if d.detached {
+		// Out-of-band completion of an involuntarily handed-off slice: the
+		// lane accounting (CPU clear, running--, active/wheel removal) was
+		// done at the handoff. Re-admit the thread with the §2.3 wakeup rule
+		// and charge the post-handoff overrun, so the time the hog kept
+		// burning after losing its lane is docked from its future
+		// entitlement; then fall through to the ordinary pop/close handling.
+		rem := elapsed - d.charged
+		if rem < 0 {
+			rem = 0
+		}
+		tn.detached = false
+		th.State = sched.Runnable
+		mustSched(sh.sch.Add(th, now))
+		tn.inSched = true
+		if rem > 0 {
+			sh.sch.Charge(th, rem, now)
+			sh.service += rem
+		}
+		if over := elapsed - d.slice; over > 0 {
+			sh.overrunHist.Record(over)
+		}
+		if r.manual {
+			// Recycle the detached record (its slot got a fresh one at the
+			// handoff). Concurrent workers do this themselves after
+			// completeLocked returns, since they also shed their lane.
+			sh.dfree = append(sh.dfree, d)
+		}
+	} else {
+		th.CPU = sched.NoCPU
+		th.LastCPU = d.local
+		sh.running--
+		sh.activeRemove(d)
+		if d.armed {
+			sh.wheel.remove(d)
+		}
+		// Interim installments already accounted d.charged of the slice;
+		// with enforcement disarmed charged is always zero and this is the
+		// historical whole-slice charge, bit for bit.
+		charge := elapsed - d.charged
+		if charge < 0 {
+			charge = 0
+		}
+		sh.sch.Charge(th, charge, now)
+		sh.service += charge
+	}
 	if done {
 		tn.pop()
 		sh.queued--
@@ -907,16 +1059,31 @@ func (d *Dispatched) completeLocked(done bool, post *postActions) simtime.Durati
 // intake ring and picking the next tenant share one lock acquisition. Tasks
 // run outside the lock; a panicking task is recovered, charged, and dropped,
 // so one bad handler cannot wedge a worker.
-func (r *Runtime) worker(id int) {
+//
+// Regular workers start holding a lane (a shard-local CPU index); spare
+// workers start without one (lane < 0) and park on spareCond until an
+// involuntary handoff lends a lane into the shard's free list. The two kinds
+// are otherwise identical — a regular worker whose lane was confiscated by a
+// handoff finishes the detached closure, recycles the detached record, and
+// re-enters the pool as a spare, so lanes and goroutines pair up anonymously
+// and no reclaim handshake is needed.
+func (r *Runtime) worker(slot int, sh *shard, lane int) {
 	defer r.wg.Done()
-	sh, local := r.workerShard[id], r.workerLocal[id]
 	var d *Dispatched
 	var done bool
 	for {
 		post := postActions{sh: sh}
 		sh.mu.Lock()
 		if d != nil {
+			detached := d.detached
 			d.completeLocked(done, &post)
+			if detached {
+				// The lane was lent away at the handoff and the record was
+				// swapped out of the slot there; pool it for the next
+				// handoff and rejoin laneless.
+				lane = -1
+				sh.dfree = append(sh.dfree, d)
+			}
 			d = nil
 		}
 		for {
@@ -925,8 +1092,26 @@ func (r *Runtime) worker(id int) {
 				post.run(r)
 				return
 			}
+			if lane < 0 {
+				if n := len(sh.lanes); n > 0 {
+					lane = sh.lanes[n-1]
+					sh.lanes = sh.lanes[:n-1]
+				} else {
+					if post.pending() {
+						sh.mu.Unlock()
+						post.run(r)
+						sh.mu.Lock()
+						continue
+					}
+					// Laneless: only a handoff can make this goroutine
+					// useful, so it parks on the spare condition rather than
+					// competing for (and losing) work signals.
+					sh.spareCond.Wait()
+					continue
+				}
+			}
 			sh.drainLocked(&post)
-			if nd := sh.dispatchLocked(id, local); nd != nil {
+			if nd := sh.dispatchLocked(slot, lane); nd != nil {
 				d = nd
 				if post.signals > 0 {
 					post.signals-- // this dispatch consumes one owed wakeup
@@ -995,9 +1180,13 @@ func (r *Runtime) Close() {
 		if r.stopRebalance != nil {
 			close(r.stopRebalance)
 		}
+		if r.stopEnforce != nil {
+			close(r.stopEnforce)
+		}
 		for _, sh := range r.shards {
 			sh.mu.Lock()
 			sh.workCond.Broadcast()
+			sh.spareCond.Broadcast()
 			for _, tn := range sh.byThread {
 				tn.notFull.Broadcast()
 			}
@@ -1044,10 +1233,13 @@ type TenantStat struct {
 	// dispatches that continued an unfinished task — a preempted-and-resumed
 	// continuation is distinguishable from a fresh dispatch; TaskPanics
 	// counts this tenant's panicking tasks, so a misbehaving tenant is
-	// identifiable rather than drowned in the global counter.
+	// identifiable rather than drowned in the global counter; Handoffs
+	// counts this tenant's slices the enforcer involuntarily handed off —
+	// the adversarial-hog fingerprint.
 	Preemptions int64
 	Resumes     int64
 	TaskPanics  int64
+	Handoffs    int64
 	// Dispatch is the ready→dispatch latency distribution: every interval
 	// from the instant the tenant became dispatchable (woke, or completed a
 	// slice with work left) to its next dispatch. Wake restricts to wakeups:
@@ -1082,10 +1274,11 @@ func (r *Runtime) Stats() []TenantStat {
 			Shard:       sh.id,
 			Service:     tn.th.Service,
 			Queued:      tn.n,
-			Running:     tn.th.Running(),
+			Running:     tn.th.Running() || tn.detached,
 			Preemptions: tn.preempts,
 			Resumes:     tn.resumes,
 			TaskPanics:  tn.panics.Load(),
+			Handoffs:    tn.handoffs,
 			Dispatch:    latencyStatOf(&tn.waitHist),
 			Wake:        latencyStatOf(&tn.wakeHist),
 		})
@@ -1150,6 +1343,10 @@ func (r *Runtime) TaskPanics() int64 { return r.taskPanics.Load() }
 // shards since the runtime started.
 func (r *Runtime) Migrations() int64 { return r.migrations.Load() }
 
+// Handoffs returns how many slices the enforcer has involuntarily handed
+// off since the runtime started (always 0 with enforcement disarmed).
+func (r *Runtime) Handoffs() int64 { return r.handoffs.Load() }
+
 // CheckInvariants validates runtime-level bookkeeping — per-shard queue and
 // weight accounting, tenant↔shard binding, the global queued count — and,
 // where the underlying schedulers support it (internal/core), each shard
@@ -1185,6 +1382,10 @@ func (r *Runtime) CheckInvariants() error {
 		}
 	}
 	seen := 0
+	// gateSlack collects tenants whose lock-free backpressure gate exceeds
+	// their absorbed backlog; legitimate only while reservations are in
+	// flight, which the quiescence check below rules out.
+	var gateSlack []*Tenant
 	for _, sh := range r.shards {
 		queued, running := 0, 0
 		weight := 0.0
@@ -1202,17 +1403,25 @@ func (r *Runtime) CheckInvariants() error {
 			if th.Running() {
 				running++
 			}
-			// A tenant is in the runnable set exactly while it has work; a
-			// running tenant always holds its head task until Complete.
-			if tn.inSched != (tn.n > 0) {
-				return fmt.Errorf("rt: tenant %s inSched=%v with %d queued",
-					th, tn.inSched, tn.n)
+			// A tenant is in the runnable set exactly while it has
+			// dispatchable work; a running tenant always holds its head task
+			// until Complete, and a detached tenant holds it while its
+			// closure runs out of band, outside the runnable set.
+			if tn.inSched != (tn.n > 0 && !tn.detached) {
+				return fmt.Errorf("rt: tenant %s inSched=%v detached=%v with %d queued",
+					th, tn.inSched, tn.detached, tn.n)
+			}
+			if tn.detached && (tn.n == 0 || th.Running()) {
+				return fmt.Errorf("rt: tenant %s detached with %d queued, running=%v",
+					th, tn.n, th.Running())
 			}
 			// The backpressure gate covers at least the absorbed backlog;
 			// any excess is in-flight reservations (none in Manual mode).
 			if p := tn.pending.Load(); p < int64(tn.n) || (exact && p != int64(tn.n)) {
 				return fmt.Errorf("rt: tenant %s pending gate %d with %d queued",
 					th, p, tn.n)
+			} else if p != int64(tn.n) {
+				gateSlack = append(gateSlack, tn)
 			}
 		}
 		if queued != sh.queued {
@@ -1222,6 +1431,10 @@ func (r *Runtime) CheckInvariants() error {
 		if running != sh.running {
 			return fmt.Errorf("rt: shard %d running counter %d, threads show %d",
 				sh.id, sh.running, running)
+		}
+		if len(sh.active) != sh.running {
+			return fmt.Errorf("rt: shard %d running counter %d, active list holds %d",
+				sh.id, sh.running, len(sh.active))
 		}
 		if diff := weight - sh.weight; diff > 1e-6*(1+weight) || diff < -1e-6*(1+weight) {
 			return fmt.Errorf("rt: shard %d weight account %g, tenants weigh %g",
@@ -1240,6 +1453,17 @@ func (r *Runtime) CheckInvariants() error {
 	}
 	if g := r.gQueued.Load(); g < int64(totalQueued) || (exact && g != int64(totalQueued)) {
 		return fmt.Errorf("rt: global queued counter %d, shards hold %d", g, totalQueued)
+	}
+	// Exact quiescent-state check, concurrent mode included: retiring a
+	// reservation needs a shard lock (all held), so gQueued cannot decrease
+	// during this freeze, and reading it zero *after* the per-tenant gate
+	// reads proves no reservation was in flight while they were taken — any
+	// recorded gate slack is then a leaked backpressure reservation, the
+	// exact failure the one-sided check above cannot see.
+	if r.gQueued.Load() == 0 && len(gateSlack) > 0 {
+		tn := gateSlack[0]
+		return fmt.Errorf("rt: quiescent but tenant %s pending gate %d with %d queued (leaked reservation)",
+			tn.th, tn.pending.Load(), tn.n)
 	}
 	return nil
 }

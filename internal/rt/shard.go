@@ -40,7 +40,8 @@ type shard struct {
 	lag      sched.LagReporter
 	frame    sched.FrameTranslator
 	pre      sched.Preempter
-	badd     sched.BatchAdder // batch wakeup admission, nil when unimplemented
+	badd     sched.BatchAdder     // batch wakeup admission, nil when unimplemented
+	interim  sched.InterimCharger // mid-slice charging, nil when unimplemented
 	byThread map[*sched.Thread]*Tenant
 	weight   float64          // Σ tenant weights: the shard's sub-share of the machine
 	queued   int              // queued tasks across this shard's tenants
@@ -53,6 +54,27 @@ type shard struct {
 	// sat in the intake ring before the drain absorbed it into the backlog.
 	intakeHist metrics.Histogram
 	workCond   *sync.Cond
+
+	// Slice enforcement (enforcer.go). active lists the in-flight slices —
+	// the preemption scans and the enforcer's interim-charge pass iterate it
+	// instead of a worker-index range, since handed-off slices live outside
+	// any slot range. lanes is the free-lane stack of an anonymous
+	// lane/goroutine pairing: a handoff pushes the confiscated lane here and
+	// signals spareCond, where laneless goroutines (spares, and ex-workers
+	// finishing detached closures) park. dfree pools detached records.
+	active       []*Dispatched
+	lanes        []int
+	spareCond    *sync.Cond
+	dfree        []*Dispatched
+	wheel        timerWheel
+	dueScratch   []*Dispatched
+	handoffs     int64 // involuntary handoffs performed on this shard
+	enforceFlags int64 // preemption flags raised by slice expiry (vs wakeups)
+	interims     int64 // interim-charge installments applied
+	// overrunHist records, at each handed-off slice's final completion, how
+	// far past its granted slice the task ran — the enforcement-latency
+	// histogram stage.
+	overrunHist metrics.Histogram
 
 	// intake is the lock-free submit path (intake.go); drainPending is its
 	// doorbell: set by the one submitter per burst that takes the lock,
@@ -162,11 +184,14 @@ func (sh *shard) absorbLocked(tn *Tenant, q queued, at, now simtime.Time) bool {
 	if lat := now.Sub(at); lat >= 0 {
 		sh.intakeHist.Record(lat)
 	}
-	if tn.inSched || tn.wokePending {
+	if tn.inSched || tn.wokePending || tn.detached {
 		// Already runnable — or already woken by an earlier item of this
 		// same drain batch (inSched is set only when the batch is admitted,
 		// so wokePending is the within-batch wake marker: outside a batch a
-		// woken tenant is always still inSched until dispatched).
+		// woken tenant is always still inSched until dispatched). A detached
+		// tenant is busy out of band: re-admitting it would let the shard
+		// dispatch the very task that is still executing, so the wakeup is
+		// deferred to the detached slice's Complete.
 		return false
 	}
 	// Wakeup: S_i = max(F_i, v) via the scheduler's Add rule, applied by
@@ -237,9 +262,6 @@ func (sh *shard) dispatchLocked(worker, local int) *Dispatched {
 	}
 	th.CPU = local
 	sh.running++
-	// The slice starts clean; any preemption flag raised against the
-	// worker's previous occupant dies with that slice.
-	sh.r.preemptFlags[worker].Store(false)
 	// Latency accounting: ready→dispatch on every dispatch, wakeup→first
 	// dispatch when a wakeup Submit is still pending its dispatch. Both are
 	// bare histogram increments (metrics.Histogram is fixed-size), keeping
@@ -260,22 +282,53 @@ func (sh *shard) dispatchLocked(worker, local int) *Dispatched {
 	} else {
 		tn.headStarted = true
 	}
-	d := &sh.r.dslots[worker]
+	d := sh.r.dslots[worker]
 	if d.inFlight {
 		panic(fmt.Sprintf("rt: worker %d dispatched with a slice already in flight", worker))
 	}
-	*d = Dispatched{
-		r:        sh.r,
-		sh:       sh,
-		tn:       tn,
-		worker:   worker,
-		local:    local,
-		start:    now,
-		slice:    sh.sch.Timeslice(th, now),
-		task:     tn.buf[tn.head],
-		inFlight: true,
+	// Field-by-field reset (the record embeds an atomic flag, so no struct
+	// assignment). The preemption flag starts clean; any flag raised against
+	// the slot's previous occupant dies with that slice.
+	d.r = sh.r
+	d.sh = sh
+	d.tn = tn
+	d.worker = worker
+	d.local = local
+	d.start = now
+	d.slice = sh.sch.Timeslice(th, now)
+	d.task = tn.buf[tn.head]
+	d.inFlight = true
+	d.preempted.Store(false)
+	d.charged = 0
+	d.lastCharge = now
+	d.detached = false
+	d.activeIdx = len(sh.active)
+	sh.active = append(sh.active, d)
+	if sh.r.enforce {
+		sh.wheel.arm(d, d.start.Add(d.slice), sh.r.enforceTick)
 	}
 	return d
+}
+
+// activeRemove unlinks an in-flight slice from the shard's active list
+// (swap-remove; order is not meaningful, scans use explicit tie-breaks).
+func (sh *shard) activeRemove(d *Dispatched) {
+	last := len(sh.active) - 1
+	moved := sh.active[last]
+	sh.active[d.activeIdx] = moved
+	moved.activeIdx = d.activeIdx
+	sh.active = sh.active[:last]
+}
+
+// newSlotLocked produces a fresh (or pooled) record for a slot whose
+// occupant was detached by a handoff.
+func (sh *shard) newSlotLocked() *Dispatched {
+	if n := len(sh.dfree); n > 0 {
+		d := sh.dfree[n-1]
+		sh.dfree = sh.dfree[:n-1]
+		return d
+	}
+	return &Dispatched{}
 }
 
 // maybePreemptLocked implements wakeup preemption (shard lock held): when the
@@ -296,24 +349,30 @@ func (sh *shard) maybePreemptLocked(woken *Tenant, now simtime.Time) {
 	}
 	var victim *Dispatched
 	var worst float64
-	for w := sh.firstWorker; w < sh.firstWorker+sh.workers; w++ {
-		d := &r.dslots[w]
-		if !d.inFlight || r.preemptFlags[w].Load() {
-			continue // idle slot, or a preemption is already pending there
+	for _, d := range sh.active {
+		if d.preempted.Load() {
+			continue // a preemption is already pending there
 		}
-		ran := now.Sub(d.start)
+		// Project forward by only the *uncharged* in-flight service: with
+		// enforcement armed, interim installments have already advanced the
+		// tags up to lastCharge (disarmed, lastCharge is the dispatch start
+		// and this is the historical whole-slice projection).
+		ran := now.Sub(d.lastCharge)
 		if ran < 0 {
 			ran = 0
 		}
 		rank := sh.pre.PreemptRank(d.tn.th, ran)
-		if victim == nil || rank > worst {
+		// Ties break toward the lowest worker slot, matching the old
+		// ascending-index scan (the active list is in dispatch order, which
+		// differs under handoffs).
+		if victim == nil || rank > worst || (rank == worst && d.worker < victim.worker) {
 			victim, worst = d, rank
 		}
 	}
 	if victim == nil || sh.pre.PreemptRank(woken.th, 0) >= worst {
 		return
 	}
-	r.preemptFlags[victim.worker].Store(true)
+	victim.preempted.Store(true)
 	victim.tn.preempts++
 	sh.preempts++
 }
@@ -332,12 +391,11 @@ func (sh *shard) preemptBatchLocked(woke []*Tenant, now simtime.Time) {
 	}
 	ranks := sh.rankScratch[:0]
 	slots := sh.slotScratch[:0]
-	for w := sh.firstWorker; w < sh.firstWorker+sh.workers; w++ {
-		d := &r.dslots[w]
-		if !d.inFlight || r.preemptFlags[w].Load() {
+	for _, d := range sh.active {
+		if d.preempted.Load() {
 			continue
 		}
-		ran := now.Sub(d.start)
+		ran := now.Sub(d.lastCharge)
 		if ran < 0 {
 			ran = 0
 		}
@@ -350,7 +408,8 @@ func (sh *shard) preemptBatchLocked(woke []*Tenant, now simtime.Time) {
 		}
 		worst := 0
 		for i := 1; i < len(slots); i++ {
-			if ranks[i] > ranks[worst] {
+			if ranks[i] > ranks[worst] ||
+				(ranks[i] == ranks[worst] && slots[i].worker < slots[worst].worker) {
 				worst = i
 			}
 		}
@@ -358,7 +417,7 @@ func (sh *shard) preemptBatchLocked(woke []*Tenant, now simtime.Time) {
 			continue
 		}
 		victim := slots[worst]
-		r.preemptFlags[victim.worker].Store(true)
+		victim.preempted.Store(true)
 		victim.tn.preempts++
 		sh.preempts++
 		last := len(slots) - 1

@@ -77,6 +77,32 @@ type BatchAdder interface {
 	AddBatch(ts []*Thread, now simtime.Time) error
 }
 
+// InterimCharger accounts in-flight service to a still-running thread in the
+// middle of its slice — the runtime analogue of internal/machine's
+// syncRunning. A runtime that charges only at slice boundaries (internal/rt's
+// charge-at-completion model) holds stale tags for running threads; the slice
+// enforcer calls InterimCharge once per enforcement tick so a running
+// thread's tags are never more than one tick behind its real consumption.
+//
+// The contract is charge splitting: for any partition ran = r₁ + … + rₙ,
+// calling InterimCharge for r₁…rₙ₋₁ followed by Charge for rₙ must leave the
+// thread's tags where a single Charge(ran) would have (up to floating-point
+// or fixed-point rounding of the individual divisions — never a different
+// scheduling decision class). Every policy whose tag advance is linear in the
+// charged duration satisfies this for free by delegating to Charge; SFS's
+// variable-length-quanta property (§2.3) is exactly what makes the split
+// well-defined there. Policies whose accounting samples time instead of
+// integrating it (time sharing's tick counters, lottery's memoryless draws)
+// do not implement the capability, and the enforcer leaves their running tags
+// stale — the documented degradation mode.
+type InterimCharger interface {
+	// InterimCharge charges ran of service to t as a mid-slice installment.
+	// t must be managed by the scheduler and currently Running; the slice's
+	// eventual boundary Charge must cover only the remainder, not re-charge
+	// installments already paid.
+	InterimCharge(t *Thread, ran simtime.Duration, now simtime.Time)
+}
+
 // FrameTranslator carries a thread's virtual-time position across scheduler
 // instances, the cross-shard migration hook: tag frames are per-instance
 // (each shard's virtual time advances at its own pace), so a migrating

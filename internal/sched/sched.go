@@ -101,9 +101,14 @@ type Thread struct {
 	FxShift   fixedpoint.Value
 
 	// Time-sharing fields (Linux 2.2): remaining timeslice in ticks and
-	// static priority.
+	// static priority. TickRem carries the sub-tick remainder of charged
+	// service so that repeated bursts shorter than one tick still consume
+	// counter once they accumulate to a tick — without it, a hog that always
+	// yields before the tick boundary rides free forever (the 2.2 kernel's
+	// tick-sampling exploit) and can starve woken threads of equal goodness.
 	Counter  int
 	Priority int
+	TickRem  simtime.Duration
 
 	// Stride-scheduling fields.
 	Pass   float64

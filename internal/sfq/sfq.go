@@ -220,6 +220,13 @@ func (s *SFQ) PreemptRank(t *sched.Thread, ran simtime.Duration) float64 {
 	return t.Start + ran.Seconds()/t.Phi
 }
 
+// InterimCharge implements sched.InterimCharger by delegating to Charge:
+// F = S + ran/φ is linear in ran, so mid-slice installments compose with
+// the boundary charge for the remainder.
+func (s *SFQ) InterimCharge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+	s.Charge(t, ran, now)
+}
+
 // Threads returns the runnable threads in start-tag order.
 func (s *SFQ) Threads() []*sched.Thread { return s.byStart.Slice() }
 

@@ -205,6 +205,13 @@ func (s *Stride) PreemptRank(t *sched.Thread, ran simtime.Duration) float64 {
 	return t.Pass + t.Stride*float64(ran)/float64(s.quantum)
 }
 
+// InterimCharge implements sched.InterimCharger by delegating to Charge: the
+// pass advance stride·ran/quantum is linear in ran, so mid-slice
+// installments compose with the boundary charge for the remainder.
+func (s *Stride) InterimCharge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
+	s.Charge(t, ran, now)
+}
+
 // Threads returns the runnable threads in pass order.
 func (s *Stride) Threads() []*sched.Thread { return s.byPass.Slice() }
 

@@ -92,6 +92,7 @@ func (s *TS) Add(t *sched.Thread, now simtime.Time) error {
 	}
 	if _, seen := s.known[t]; !seen {
 		t.Counter = t.Priority
+		t.TickRem = 0
 		s.known[t] = struct{}{}
 	}
 	t.Phi = t.Weight
@@ -115,15 +116,24 @@ func (s *TS) Remove(t *sched.Thread, now simtime.Time) error {
 }
 
 // Charge implements sched.Scheduler: one counter tick is consumed per full
-// Tick of CPU used. Sub-tick bursts — the common case for interactive
-// threads — cost nothing, which reproduces the kernel's tick-sampled
-// accounting and its bias toward I/O-bound threads.
+// Tick of CPU used, with the sub-tick remainder carried in t.TickRem. A
+// single burst shorter than a tick still costs nothing immediately — the
+// kernel's tick granularity, and its bias toward genuinely I/O-bound
+// threads, is preserved — but repeated sub-tick bursts accumulate and are
+// charged once the carry crosses a tick boundary. Without the carry, a
+// compute-bound thread whose slices are always cut below one tick (a short
+// SliceCap, or involuntary enforcement at a sub-tick cadence) would never
+// consume counter: its goodness never decays, epochs never turn, and woken
+// threads of equal goodness starve behind it indefinitely — an accounting
+// exploit, not the 2.2 semantics this package models.
 func (s *TS) Charge(t *sched.Thread, ran simtime.Duration, now simtime.Time) {
 	if ran < 0 {
 		panic("timeshare: negative charge")
 	}
 	t.Service += ran
-	t.Counter -= int(ran / Tick)
+	total := t.TickRem + ran
+	t.Counter -= int(total / Tick)
+	t.TickRem = total % Tick
 	if t.Counter < 0 {
 		t.Counter = 0
 	}

@@ -113,8 +113,10 @@ func TestBlockedThreadsBankCounter(t *testing.T) {
 }
 
 func TestSubTickBurstsAreFree(t *testing.T) {
-	// Tick-sampled accounting: bursts shorter than a tick do not consume
-	// counter, reproducing the 2.2 kernel's bias toward I/O-bound work.
+	// Tick granularity: a single burst shorter than a tick does not consume
+	// counter, reproducing the 2.2 kernel's bias toward I/O-bound work — but
+	// the remainder is carried, so a second sub-tick burst that crosses the
+	// boundary pays the accumulated tick.
 	s := New(1)
 	a := mkThread(1)
 	if err := s.Add(a, 0); err != nil {
@@ -127,6 +129,55 @@ func TestSubTickBurstsAreFree(t *testing.T) {
 	}
 	if a.Service != 5*simtime.Millisecond {
 		t.Fatal("service not accounted")
+	}
+	if a.TickRem != 5*simtime.Millisecond {
+		t.Fatalf("remainder not carried: %v", a.TickRem)
+	}
+	s.Charge(a, 7*simtime.Millisecond, 0)
+	if a.Counter != before-1 {
+		t.Fatalf("accumulated 12ms should cost one tick: %d -> %d", before, a.Counter)
+	}
+	if a.TickRem != 2*simtime.Millisecond {
+		t.Fatalf("remainder after carry: %v", a.TickRem)
+	}
+}
+
+func TestSubTickRemainderDefeatsFreeRide(t *testing.T) {
+	// Regression for the live Figure 6(c) starvation hole: a compute-bound
+	// thread whose slices are always cut below one tick must still consume
+	// counter at its true CPU rate, so its goodness decays and a woken
+	// interactive thread outranks it. Before the remainder carry, 200 x 5 ms
+	// chunks cost zero ticks, the hog's goodness never dropped, and a sleeper
+	// of equal priority lost every tie indefinitely.
+	s := New(1)
+	hog := mkThread(1)
+	sleeper := mkThread(2)
+	if err := s.Add(hog, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(sleeper, 0); err != nil {
+		t.Fatal(err)
+	}
+	sleeper.State = sched.Blocked
+	if err := s.Remove(sleeper, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The hog burns one full timeslice's worth of CPU in sub-tick chunks.
+	for i := 0; i < 200; i++ {
+		s.Charge(hog, 5*simtime.Millisecond, 0)
+	}
+	if hog.Counter != 0 {
+		t.Fatalf("hog counter %d after 1s of 5ms chunks, want 0", hog.Counter)
+	}
+	sleeper.State = sched.Runnable
+	if err := s.Add(sleeper, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Less(sleeper, hog) {
+		t.Fatal("woken sleeper must outrank the sub-tick hog")
+	}
+	if got := s.Pick(0, 0); got != sleeper {
+		t.Fatalf("Pick = %v, want the woken sleeper", got)
 	}
 }
 

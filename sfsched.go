@@ -181,6 +181,10 @@ type (
 	// SliceCtx is a running PreemptibleTask's view of its slice: the
 	// granted timeslice hint and the cooperative preemption flag.
 	SliceCtx = rt.SliceCtx
+	// Dispatched is one in-flight slice of a Manual-mode Runtime — the
+	// handle Runtime.Dispatch returns, completed (and, under enforcement,
+	// flagged or detached) by the driving test or simulation.
+	Dispatched = rt.Dispatched
 	// Preempter is the optional scheduler capability behind wakeup
 	// preemption: policies implementing it (SFS, SFQ, stride, BVT, hier)
 	// rank a newly woken thread against running ones.
