@@ -10,6 +10,8 @@
 //	                     [-per-tier 2] [-duration 1s] [-slice 25ms] [-preempt] [-v]
 //	go run ./cmd/livecmp -latency [-hogs 8] [-policies sfs,bvt,timeshare]
 //	                     [-enforce] [-adversarial] ...
+//	go run ./cmd/livecmp -cluster [-machines 8] [-k 2] [-workers 16]
+//	                     [-migrate-every 250ms] ...
 //
 // Any policy sfsched.PolicyByName knows (sfs, sfq, sfq+readjust, timeshare,
 // stride, bvt, lottery, hier) may appear in -policies; with -shards > 1 each
@@ -32,6 +34,13 @@
 // pairing shows the enforcer's contribution: adversarial hogs starve the
 // interactive tenant for whole slices unless -enforce hands their expired
 // slices off to spare workers.
+//
+// -cluster switches to the cluster tier (DESIGN.md §11): the weighted tiers
+// are spread over -machines independent runtimes by power-of-k-choices
+// placement, a background migrator equalizes weight density across machines,
+// and the tables report per-machine shares plus the cluster-wide weighted
+// Jain index — which should stay ≈ 1 under the fair-queueing policies even
+// though no machine ever sees the whole tenant population.
 package main
 
 import (
@@ -68,6 +77,13 @@ func main() {
 		"arm involuntary slice enforcement in -latency mode: the enforcer interim-charges in-flight slices and hands off expired ones")
 	adversarial := flag.Bool("adversarial", false,
 		"submit -latency hogs as plain tasks that never poll preemption flags — the workload only -enforce can bound")
+	clusterMode := flag.Bool("cluster", false,
+		"run the cluster tier demo instead of the single-runtime table: -machines runtimes behind "+
+			"power-of-k placement and surplus-driven migration, with per-machine shares and the cluster Jain index")
+	machinesN := flag.Int("machines", 8, "machines in -cluster mode")
+	kChoices := flag.Int("k", 2, "placement probes per registration in -cluster mode (power-of-k-choices)")
+	migrateEvery := flag.Duration("migrate-every", 0,
+		"background migrator period in -cluster mode (0 = cluster default, negative = placement only)")
 	flag.Parse()
 
 	cfg := experiments.LiveConfig{
@@ -96,6 +112,51 @@ func main() {
 	if len(factories) == 0 {
 		fmt.Fprintln(os.Stderr, "livecmp: no policies requested")
 		os.Exit(2)
+	}
+	if *clusterMode {
+		// -per-tier defaults to 2 for the single-runtime table; the cluster
+		// sizes its own default (2x the worker slots) unless the flag was
+		// given explicitly.
+		clusterPerTier := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "per-tier" {
+				clusterPerTier = *perTier
+			}
+		})
+		fmt.Printf("livecmp: cluster of %d machines (k=%d placement), %s for %v each (weighted tiers 4:3:2:1)\n",
+			*machinesN, *kChoices, strings.Join(names, " vs "), *duration)
+		var results []experiments.LiveClusterResult
+		for _, p := range factories {
+			res := experiments.RunLiveCluster(p, experiments.LiveClusterConfig{
+				Machines:     *machinesN,
+				K:            *kChoices,
+				Workers:      *workers,
+				PerTier:      clusterPerTier,
+				Duration:     *duration,
+				SliceCap:     *slice,
+				MigrateEvery: *migrateEvery,
+			})
+			results = append(results, res)
+			fmt.Printf("\n%s per-machine shares:\n", res.Policy)
+			fmt.Print(experiments.ClusterMachineTable(res))
+			if *verbose {
+				tbl := &metrics.Table{Headers: []string{"tenant", "weight", "machine", "cpu_ms", "share", "ideal"}}
+				for _, tn := range res.Tenants {
+					tbl.AddRow(tn.Name,
+						fmt.Sprintf("%g", tn.Weight),
+						fmt.Sprintf("%d", tn.Machine),
+						fmt.Sprintf("%.1f", float64(tn.Service.Microseconds())/1000),
+						fmt.Sprintf("%.3f", tn.Share),
+						fmt.Sprintf("%.3f", tn.Ideal))
+				}
+				fmt.Print(tbl.String())
+			}
+			fmt.Printf("cluster jain %.4f, worst share error %.1f%%, %d migrations\n",
+				res.Jain, 100*res.WorstErr, res.Migrations)
+		}
+		fmt.Println()
+		fmt.Print(experiments.ClusterFairnessTable(results))
+		return
 	}
 	if *latency {
 		mode := ""

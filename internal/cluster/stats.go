@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"sfsched/internal/metrics"
+	"sfsched/internal/rt"
+	"sfsched/internal/simtime"
+)
+
+// TenantStat is one tenant's statistics with its machine attribution. Share
+// and Lag are recomputed cluster-wide (fraction of all charged time across
+// every machine; lag against the global weighted entitlement), overriding
+// the per-machine values the hosting runtime reported.
+type TenantStat struct {
+	rt.TenantStat
+	Machine int
+}
+
+// MachineStat summarizes one machine for the cluster rollup.
+type MachineStat struct {
+	Machine int
+	Workers int
+	Tenants int
+	Weight  float64          // Σ tenant weights on this machine
+	Queued  int              // queued tasks on this machine
+	Service simtime.Duration // Σ charged service of its current tenants
+	Share   float64          // fraction of cluster-wide charged service
+	Jain    float64          // within-machine weighted Jain index
+}
+
+// Stats returns per-tenant statistics across every machine, with Share and
+// Lag recomputed cluster-wide. Each machine is frozen for its own snapshot,
+// but machines are sampled in sequence: the cut is per-machine consistent,
+// not cluster-consistent — charging that lands on machine j while machine i
+// is being read skews shares by at most the sampling window.
+func (c *Cluster) Stats() []TenantStat {
+	var out []TenantStat
+	var services []simtime.Duration
+	var weights []float64
+	for i, n := range c.nodes {
+		for _, st := range n.Stats() {
+			out = append(out, TenantStat{TenantStat: st, Machine: i})
+			services = append(services, st.Service)
+			weights = append(weights, st.Weight)
+		}
+	}
+	if len(out) == 0 {
+		return out
+	}
+	shares := metrics.SharesOf(services...)
+	lags := metrics.Lags(services, weights)
+	for i := range out {
+		out[i].Share = shares[i]
+		out[i].Lag = simtime.Duration(lags[i] * float64(simtime.Second))
+	}
+	return out
+}
+
+// MachineStats returns the per-machine rollup: load, aggregate charged
+// service, cluster share and within-machine Jain index.
+func (c *Cluster) MachineStats() []MachineStat {
+	out := make([]MachineStat, len(c.nodes))
+	var total simtime.Duration
+	for i, n := range c.nodes {
+		load := n.Load()
+		out[i] = MachineStat{
+			Machine: i,
+			Workers: load.Workers,
+			Tenants: load.Tenants,
+			Weight:  load.Weight,
+			Queued:  load.Queued,
+			Jain:    n.JainIndex(),
+		}
+		for _, st := range n.Stats() {
+			out[i].Service += st.Service
+		}
+		total += out[i].Service
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Share = float64(out[i].Service) / float64(total)
+		}
+	}
+	return out
+}
+
+// JainIndex returns the cluster-wide weighted Jain fairness index over every
+// tenant's charged service (1.0 = perfectly proportional), or 1 with no
+// tenants — the rollup the acceptance demo prints.
+func (c *Cluster) JainIndex() float64 {
+	var services []simtime.Duration
+	var weights []float64
+	for _, n := range c.nodes {
+		for _, st := range n.Stats() {
+			services = append(services, st.Service)
+			weights = append(weights, st.Weight)
+		}
+	}
+	if len(services) == 0 {
+		return 1
+	}
+	return metrics.JainIndex(services, weights)
+}

@@ -247,3 +247,42 @@ func TestSubmitHotPathZeroAlloc(t *testing.T) {
 		})
 	}
 }
+
+// TestSubmitTaskOptionsZeroAlloc pins that the unified SubmitTask entry
+// point stays allocation-free with options at the call site: SubmitOption is
+// a plain value and the variadic backing array never escapes, so NoWait and
+// Preemptible cost nothing over the bare call.
+func TestSubmitTaskOptionsZeroAlloc(t *testing.T) {
+	clock := NewFakeClock()
+	r := New(Config{Workers: 1, Quantum: 10 * simtime.Millisecond,
+		Clock: clock, QueueCap: 4, Manual: true})
+	defer r.Close()
+	tn, err := r.Register("zero", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := Once(func() {})
+	pre := PreemptibleTask(func(SliceCtx) bool { return true })
+	cycle := func() {
+		if err := tn.SubmitTask(task, NoWait()); err != nil {
+			t.Fatal(err)
+		}
+		if err := tn.SubmitTask(nil, NoWait(), Preemptible(pre)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			d := r.Dispatch(0)
+			clock.Advance(simtime.Millisecond)
+			d.Complete(true)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(500, cycle); n != 0 {
+		t.Fatalf("SubmitTask with options allocates %.1f per cycle, want 0", n)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -642,41 +642,78 @@ func (tn *Tenant) lockShard() *shard {
 	}
 }
 
-// Submit appends a task to the tenant's backlog, blocking while the backlog
-// is full. It fails with ErrTenantClosed after Unregister and
-// ErrRuntimeClosed after Close.
-func (tn *Tenant) Submit(task Task) error {
-	if task == nil {
+// SubmitOption modifies one SubmitTask call. Options are plain values (not
+// closures), so an option list built at the call site lives on the caller's
+// stack and the submit hot path stays allocation-free.
+type SubmitOption struct {
+	noWait bool
+	pre    PreemptibleTask
+}
+
+// NoWait makes SubmitTask fail with ErrBackpressure instead of blocking while
+// the tenant's backlog is full.
+func NoWait() SubmitOption { return SubmitOption{noWait: true} }
+
+// Preemptible submits task as a PreemptibleTask: it receives a SliceCtx and
+// is expected to poll Preempted() and yield cooperatively. The Task argument
+// of SubmitTask must be nil when this option is given.
+func Preemptible(task PreemptibleTask) SubmitOption { return SubmitOption{pre: task} }
+
+// SubmitTask appends a task to the tenant's backlog. By default it blocks
+// while the backlog is full and fails with ErrTenantClosed after Unregister
+// and ErrRuntimeClosed after Close; NoWait() turns the blocking into an
+// ErrBackpressure failure, and Preemptible(fn) submits a cooperative
+// preemptible task in place of the plain one (pass task == nil then).
+// Exactly one task form must be given: a nil call panics, as does combining
+// a plain task with Preemptible. The four legacy methods — Submit,
+// TrySubmit, SubmitPreemptible, TrySubmitPreemptible — are thin wrappers
+// over this entry point.
+func (tn *Tenant) SubmitTask(task Task, opts ...SubmitOption) error {
+	q := queued{run: task}
+	block := true
+	for _, o := range opts {
+		if o.noWait {
+			block = false
+		}
+		if o.pre != nil {
+			q.pre = o.pre
+		}
+	}
+	if q.pre != nil {
+		if q.run != nil {
+			panic("rt: SubmitTask given both a plain task and Preemptible")
+		}
+	} else if q.run == nil {
 		panic("rt: nil task")
 	}
-	return tn.enqueue(queued{run: task})
+	return tn.submit(q, block)
+}
+
+// Submit appends a task to the tenant's backlog, blocking while the backlog
+// is full. It fails with ErrTenantClosed after Unregister and
+// ErrRuntimeClosed after Close. It is SubmitTask(task).
+func (tn *Tenant) Submit(task Task) error {
+	return tn.SubmitTask(task)
 }
 
 // TrySubmit is Submit without blocking: a full backlog fails with
-// ErrBackpressure.
+// ErrBackpressure. It is SubmitTask(task, NoWait()).
 func (tn *Tenant) TrySubmit(task Task) error {
-	if task == nil {
-		panic("rt: nil task")
-	}
-	return tn.tryEnqueue(queued{run: task})
+	return tn.SubmitTask(task, NoWait())
 }
 
 // SubmitPreemptible is Submit for a PreemptibleTask: the task receives a
-// SliceCtx and is expected to poll Preempted() and yield cooperatively.
+// SliceCtx and is expected to poll Preempted() and yield cooperatively. It is
+// SubmitTask(nil, Preemptible(task)).
 func (tn *Tenant) SubmitPreemptible(task PreemptibleTask) error {
-	if task == nil {
-		panic("rt: nil task")
-	}
-	return tn.enqueue(queued{pre: task})
+	return tn.SubmitTask(nil, Preemptible(task))
 }
 
 // TrySubmitPreemptible is SubmitPreemptible without blocking: a full backlog
-// fails with ErrBackpressure.
+// fails with ErrBackpressure. It is SubmitTask(nil, NoWait(),
+// Preemptible(task)).
 func (tn *Tenant) TrySubmitPreemptible(task PreemptibleTask) error {
-	if task == nil {
-		panic("rt: nil task")
-	}
-	return tn.tryEnqueue(queued{pre: task})
+	return tn.SubmitTask(nil, NoWait(), Preemptible(task))
 }
 
 // postActions accumulates work that must run after the shard lock is
@@ -729,9 +766,6 @@ func (tn *Tenant) reserve() bool {
 		}
 	}
 }
-
-func (tn *Tenant) enqueue(q queued) error    { return tn.submit(q, true) }
-func (tn *Tenant) tryEnqueue(q queued) error { return tn.submit(q, false) }
 
 // submit is the lock-free intake fast path: one CAS reservation against the
 // backpressure gate, one lock-free push onto the tenant's shard's intake

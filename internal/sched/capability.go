@@ -112,6 +112,14 @@ type InterimCharger interface {
 // source's frame; SetFrameLead re-creates that position relative to the
 // destination's. Both are called with the thread outside any runnable set
 // (the migration removes it first and re-adds it after).
+//
+// The seam is reused at two scales: the intra-box rebalancer translates
+// frames between the shards of one runtime (internal/rt/rebalance.go), and
+// the cluster tier's cross-machine migration carries the same lead across
+// whole runtimes (rt.Deport captures it, rt.Admit restores it on another
+// machine's scheduler instance). Nothing here is shard-specific — the
+// contract holds between any two instances of frame-tagged schedulers —
+// which is why the cluster tier needed no new capability.
 type FrameTranslator interface {
 	// FrameLead returns how far the thread's tag sits ahead of this
 	// scheduler's current virtual time, in tag units.

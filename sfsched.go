@@ -25,8 +25,10 @@ package sfsched
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"sfsched/internal/bvt"
+	"sfsched/internal/cluster"
 	"sfsched/internal/core"
 	"sfsched/internal/gms"
 	"sfsched/internal/hier"
@@ -165,8 +167,6 @@ func NewMachine(cfg MachineConfig) *Machine { return machine.New(cfg) }
 type (
 	// Runtime is the concurrent wall-clock scheduling runtime.
 	Runtime = rt.Runtime
-	// RuntimeConfig assembles a Runtime.
-	RuntimeConfig = rt.Config
 	// RuntimePolicy builds one dispatch shard's scheduler; see
 	// RuntimeConfig.Policy and PolicyByName.
 	RuntimePolicy = rt.Policy
@@ -247,25 +247,203 @@ func PolicyByName(name string, quantum Duration) (RuntimePolicy, error) {
 	}
 }
 
-// Runtime tenant-API errors.
+// Sentinel errors of the runtime and cluster tiers. Every failure mode the
+// facade can surface is one of these, match them with errors.Is; the
+// conformance test (errors_test.go) holds the full set distinct.
 var (
 	// ErrRuntimeClosed reports an operation on a closed runtime.
 	ErrRuntimeClosed = rt.ErrRuntimeClosed
 	// ErrTenantClosed reports an operation on an unregistered tenant.
 	ErrTenantClosed = rt.ErrTenantClosed
-	// ErrBackpressure reports a TrySubmit against a full tenant backlog.
+	// ErrBackpressure reports a TrySubmit (or SubmitTask with NoWait)
+	// against a full tenant backlog.
 	ErrBackpressure = rt.ErrBackpressure
 	// ErrForeignTenant reports a tenant handed to a runtime that does not
 	// own it.
 	ErrForeignTenant = rt.ErrForeignTenant
+	// ErrMigrationRace reports a cross-machine Deport against a tenant that
+	// is transiently unmovable (running, mid-continuation, submits in
+	// flight); the cluster migrator retries on a later pass.
+	ErrMigrationRace = rt.ErrMigrationRace
+	// ErrNoMachines reports a ClusterConfig with no machines.
+	ErrNoMachines = cluster.ErrNoMachines
+	// ErrClusterClosed reports an operation on a closed cluster.
+	ErrClusterClosed = cluster.ErrClusterClosed
 )
+
+// RuntimeConfig assembles a Runtime. The flat fields mirror the original
+// knob set one-for-one; the grown enforcement / sharding / intake knobs are
+// also reachable through the nested groups (Enforcement, Sharding, Intake),
+// which read better at call sites that configure a subsystem deliberately:
+//
+//	sfsched.RuntimeConfig{
+//	    Workers:     16,
+//	    Enforcement: sfsched.EnforcementConfig{Enabled: true, Tick: sfsched.Millisecond},
+//	    Sharding:    sfsched.ShardingConfig{Shards: 4},
+//	}
+//
+// Both spellings are valid; where a knob is set in both places the nested
+// (non-zero) value wins, so existing flat-field callers are unaffected.
+type RuntimeConfig struct {
+	// Workers is the worker pool size — the number of "CPUs" the scheduler
+	// arbitrates. Required.
+	Workers int
+	// Policy builds each dispatch shard's scheduler (e.g. via
+	// PolicyByName); nil defaults to exact-mode SFS with Quantum.
+	Policy RuntimePolicy
+	// Quantum overrides the default SFS policy's maximum quantum.
+	Quantum Duration
+	// Clock supplies time for charging; nil defaults to the monotonic wall
+	// clock, tests inject a FakeClock.
+	Clock RuntimeClock
+	// Manual suppresses the worker pool and background loops; the caller
+	// drives Dispatch/Complete/Rebalance directly (deterministic tests).
+	Manual bool
+	// Preempt arms cooperative wakeup preemption (see rt.Config.Preempt).
+	Preempt bool
+
+	// Flat back-compat spellings of the grouped knobs below.
+	Shards         int
+	QueueCap       int
+	RebalanceEvery time.Duration
+	LockedSubmit   bool
+	Enforce        bool
+	EnforceTick    Duration
+	SpareWorkers   int
+
+	// Enforcement groups the involuntary slice-enforcement knobs
+	// (rt.Config.Enforce/EnforceTick/SpareWorkers).
+	Enforcement EnforcementConfig
+	// Sharding groups the per-CPU dispatch sharding knobs
+	// (rt.Config.Shards/RebalanceEvery).
+	Sharding ShardingConfig
+	// Intake groups the submit-side knobs
+	// (rt.Config.QueueCap/LockedSubmit).
+	Intake IntakeConfig
+}
+
+// EnforcementConfig groups RuntimeConfig's involuntary slice-enforcement
+// knobs: Enabled arms the enforcer, Tick is the enforcement granularity
+// (0 = default), SpareWorkers bounds the per-shard spare pool (0 = one per
+// worker, negative disables spares).
+type EnforcementConfig struct {
+	Enabled      bool
+	Tick         Duration
+	SpareWorkers int
+}
+
+// ShardingConfig groups RuntimeConfig's dispatch-sharding knobs: Shards
+// splits dispatch into per-CPU runqueues (0 or 1 = the central queue),
+// RebalanceEvery is the background rebalancer period (negative disables).
+type ShardingConfig struct {
+	Shards         int
+	RebalanceEvery time.Duration
+}
+
+// IntakeConfig groups RuntimeConfig's submit-side knobs: QueueCap bounds
+// each tenant's backlog (0 = 256), Locked routes submits through the locked
+// baseline path instead of the lock-free intake ring (benchmarks only).
+type IntakeConfig struct {
+	QueueCap int
+	Locked   bool
+}
+
+// flatten merges the flat and grouped spellings into the internal config;
+// the nested non-zero value wins where both are set.
+func (c RuntimeConfig) flatten() rt.Config {
+	out := rt.Config{
+		Workers:        c.Workers,
+		Shards:         c.Shards,
+		Policy:         c.Policy,
+		Quantum:        c.Quantum,
+		Clock:          c.Clock,
+		QueueCap:       c.QueueCap,
+		Manual:         c.Manual,
+		Preempt:        c.Preempt,
+		RebalanceEvery: c.RebalanceEvery,
+		LockedSubmit:   c.LockedSubmit || c.Intake.Locked,
+		Enforce:        c.Enforce || c.Enforcement.Enabled,
+		EnforceTick:    c.EnforceTick,
+		SpareWorkers:   c.SpareWorkers,
+	}
+	if c.Sharding.Shards != 0 {
+		out.Shards = c.Sharding.Shards
+	}
+	if c.Sharding.RebalanceEvery != 0 {
+		out.RebalanceEvery = c.Sharding.RebalanceEvery
+	}
+	if c.Intake.QueueCap != 0 {
+		out.QueueCap = c.Intake.QueueCap
+	}
+	if c.Enforcement.Tick != 0 {
+		out.EnforceTick = c.Enforcement.Tick
+	}
+	if c.Enforcement.SpareWorkers != 0 {
+		out.SpareWorkers = c.Enforcement.SpareWorkers
+	}
+	return out
+}
 
 // NewRuntime builds a wall-clock runtime and starts its worker pool; set
 // RuntimeConfig.Shards > 1 for sharded per-CPU dispatch with background
 // weight rebalancing, and RuntimeConfig.Policy (e.g. via PolicyByName) to
 // dispatch with a policy other than SFS (see internal/rt and DESIGN.md
 // §6–§7).
-func NewRuntime(cfg RuntimeConfig) *Runtime { return rt.New(cfg) }
+func NewRuntime(cfg RuntimeConfig) *Runtime { return rt.New(cfg.flatten()) }
+
+// Submit options for Tenant.SubmitTask, the unified submit entry point (the
+// legacy Submit/TrySubmit/SubmitPreemptible/TrySubmitPreemptible remain as
+// thin wrappers over it).
+type (
+	// SubmitOption modifies one SubmitTask call; options are plain values,
+	// so the submit hot path stays allocation-free.
+	SubmitOption = rt.SubmitOption
+)
+
+// NoWait makes SubmitTask fail with ErrBackpressure instead of blocking
+// while the tenant's backlog is full.
+func NoWait() SubmitOption { return rt.NoWait() }
+
+// Preemptible submits task as a PreemptibleTask (pass a nil plain task
+// alongside it).
+func Preemptible(task PreemptibleTask) SubmitOption { return rt.Preemptible(task) }
+
+// Cluster tier: a scheduler over many Runtime "machines" with
+// power-of-k-choices placement, surplus-driven cross-machine migration and a
+// cluster-wide fairness rollup (see internal/cluster and DESIGN.md §11).
+type (
+	// Cluster is a cluster scheduler owning N runtime machines.
+	Cluster = cluster.Cluster
+	// ClusterConfig assembles a Cluster: Machines, K (placement choices),
+	// per-machine runtime knobs, and the migrator's period/tolerance.
+	ClusterConfig = cluster.Config
+	// ClusterTenant is a tenant placed on (and migrated between) the
+	// cluster's machines.
+	ClusterTenant = cluster.Tenant
+	// ClusterTenantStat is a per-tenant metrics view with machine
+	// attribution and cluster-wide shares.
+	ClusterTenantStat = cluster.TenantStat
+	// MachineStat is a per-machine load/fairness rollup.
+	MachineStat = cluster.MachineStat
+	// Node is one machine as the cluster sees it; *Runtime satisfies it and
+	// tests may stub it.
+	Node = cluster.Node
+	// NodeLoad is a machine's point-in-time load summary, the
+	// power-of-k-choices placement signal.
+	NodeLoad = rt.NodeLoad
+	// Departure is a deported tenant in transit between machines.
+	Departure = rt.Departure
+)
+
+// NewCluster builds a cluster of cfg.Machines identical machines and starts
+// its background migrator (unless Manual or MigrateEvery < 0).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ComposeCluster builds a cluster over caller-supplied nodes — stubs or
+// instrumented runtimes; machine-level ClusterConfig fields are ignored.
+func ComposeCluster(cfg ClusterConfig, nodes ...Node) (*Cluster, error) {
+	return cluster.Compose(cfg, nodes...)
+}
 
 // NewFakeClock returns a manually advanced clock at time 0.
 func NewFakeClock() *FakeClock { return rt.NewFakeClock() }

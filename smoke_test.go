@@ -43,6 +43,8 @@ func TestExamplesSmoke(t *testing.T) {
 		{"examples/videoserver", nil, "mpeg"},
 		{"examples/webhosting", nil, "gold"},
 		{"examples/fairserver", []string{"-duration", "300ms"}, "jain"},
+		{"examples/cluster", []string{"-machines", "2", "-workers", "2",
+			"-duration", "300ms", "-migrate-every", "100ms"}, "jain"},
 	}
 	for _, c := range cases {
 		t.Run(filepath.Base(c.pkg), func(t *testing.T) {
@@ -120,6 +122,24 @@ func TestLivecmpLatencySmoke(t *testing.T) {
 	for _, want := range []string{"SFS", "timeshare", "p95_ms", "preemptions", "preempt"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("livecmp -latency output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLivecmpClusterSmoke runs the cluster tier demo end to end: per-machine
+// share tables plus the cross-policy cluster summary, with k=1 placement so
+// the run exercises the migrator against a deliberately imbalanced cluster.
+func TestLivecmpClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests skipped in -short mode")
+	}
+	out := runBinary(t, "cmd/livecmp",
+		"-cluster", "-machines", "3", "-workers", "2", "-k", "1",
+		"-policies", "sfs", "-duration", "400ms", "-slice", "5ms",
+		"-migrate-every", "100ms")
+	for _, want := range []string{"per-machine shares", "machine", "cluster jain", "migrations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("livecmp -cluster output missing %q:\n%s", want, out)
 		}
 	}
 }
