@@ -12,6 +12,7 @@
 //	                     [-enforce] [-adversarial] ...
 //	go run ./cmd/livecmp -cluster [-machines 8] [-k 2] [-workers 16]
 //	                     [-migrate-every 250ms] ...
+//	go run ./cmd/livecmp -steal [-shards 8] [-ticks 400]
 //
 // Any policy sfsched.PolicyByName knows (sfs, sfq, sfq+readjust, timeshare,
 // stride, bvt, lottery, hier) may appear in -policies; with -shards > 1 each
@@ -34,6 +35,14 @@
 // pairing shows the enforcer's contribution: adversarial hogs starve the
 // interactive tenant for whole slices unless -enforce hands their expired
 // slices off to spare workers.
+//
+// -steal switches to the work-stealing ablation (DESIGN.md §12): every active
+// tenant starts piled onto one shard while the remaining single-worker shards
+// sit idle — the §1.2 imbalance partitioned scheduling is criticized for —
+// and the table compares, in deterministic lockstep, how each recovery
+// mechanism closes it: idle-path stealing recovers within the first tick, the
+// periodic rebalancer only at its next pass, and a runtime with neither stays
+// pinned at one busy worker for the whole run.
 //
 // -cluster switches to the cluster tier (DESIGN.md §11): the weighted tiers
 // are spread over -machines independent runtimes by power-of-k-choices
@@ -84,7 +93,18 @@ func main() {
 	kChoices := flag.Int("k", 2, "placement probes per registration in -cluster mode (power-of-k-choices)")
 	migrateEvery := flag.Duration("migrate-every", 0,
 		"background migrator period in -cluster mode (0 = cluster default, negative = placement only)")
+	stealMode := flag.Bool("steal", false,
+		"run the work-stealing ablation instead: all actives piled on one shard, recovery via stealing vs the rebalancer vs neither")
+	stealTicks := flag.Int("ticks", 0, "lockstep ticks in -steal mode (0 = 400)")
 	flag.Parse()
+
+	if *stealMode {
+		// -shards 0 falls through to the ablation default (8).
+		cfg := experiments.StealAblationConfig{Shards: *shards, Ticks: *stealTicks}
+		fmt.Printf("livecmp: steal ablation — actives piled on shard 0, one worker per shard\n")
+		fmt.Print(experiments.StealAblationTable(experiments.StealAblation(cfg)))
+		return
+	}
 
 	cfg := experiments.LiveConfig{
 		Workers:  *workers,

@@ -30,7 +30,7 @@ import (
 // and submitters contend like they would on a 16-CPU host (on smaller hosts
 // the OS timeslices the threads — the regime where a held central lock
 // stalls every peer).
-func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.RuntimePolicy, preempt, enforce bool) {
+func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.RuntimePolicy, preempt, enforce, steal bool) {
 	const (
 		workers    = 16
 		submitters = 16
@@ -46,6 +46,7 @@ func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.Runtim
 		RebalanceEvery: -1, // static uniform tenants; isolate dispatch cost
 		Preempt:        preempt,
 		Enforce:        enforce,
+		Steal:          steal,
 	})
 	defer r.Close()
 	tenants := make([]*sfsched.Tenant, nTenants)
@@ -86,7 +87,7 @@ func benchmarkDispatch(b *testing.B, shards, nTenants int, policy sfsched.Runtim
 func BenchmarkDispatchSharded(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d/workers=16", shards), func(b *testing.B) {
-			benchmarkDispatch(b, shards, 16384, nil, false, false)
+			benchmarkDispatch(b, shards, 16384, nil, false, false, false)
 		})
 	}
 }
@@ -103,7 +104,7 @@ func BenchmarkDispatchSharded(b *testing.B) {
 func BenchmarkDispatchPreempt(b *testing.B) {
 	for _, preempt := range []bool{false, true} {
 		b.Run(fmt.Sprintf("preempt=%v/shards=4/workers=16", preempt), func(b *testing.B) {
-			benchmarkDispatch(b, 4, 4096, nil, preempt, false)
+			benchmarkDispatch(b, 4, 4096, nil, preempt, false, false)
 		})
 	}
 }
@@ -119,7 +120,7 @@ func BenchmarkDispatchPreempt(b *testing.B) {
 func BenchmarkDispatchEnforce(b *testing.B) {
 	for _, enforce := range []bool{false, true} {
 		b.Run(fmt.Sprintf("enforce=%v/shards=4/workers=16", enforce), func(b *testing.B) {
-			benchmarkDispatch(b, 4, 4096, nil, true, enforce)
+			benchmarkDispatch(b, 4, 4096, nil, true, enforce, false)
 		})
 	}
 }
@@ -208,7 +209,7 @@ func BenchmarkDispatchPolicy(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("policy=%s/shards=4/workers=16", name), func(b *testing.B) {
-			benchmarkDispatch(b, 4, 4096, policy, false, false)
+			benchmarkDispatch(b, 4, 4096, policy, false, false, false)
 		})
 	}
 }

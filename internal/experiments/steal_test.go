@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+// TestStealAblationShape pins the §1.2 story the ablation exists to tell:
+// with every active piled on one shard, a runtime with neither mechanism
+// stays pinned at one busy worker, the rebalancer recovers only at its first
+// pass, and stealing recovers on the very first tick at full utilization.
+func TestStealAblationShape(t *testing.T) {
+	cfg := StealAblationConfig{Shards: 4, Ticks: 120, RebalanceEvery: 30}
+	results := StealAblation(cfg)
+	if len(results) != 3 {
+		t.Fatalf("want 3 cells, got %d", len(results))
+	}
+	byMode := map[string]StealAblationResult{}
+	for _, res := range results {
+		byMode[res.Mode] = res
+	}
+	neither := byMode[StealModeNeither]
+	if neither.RecoveryTick != -1 {
+		t.Errorf("neither-cell recovered at tick %d; the imbalance should persist", neither.RecoveryTick)
+	}
+	if neither.Utilization > 0.26 { // 1 busy worker of 4
+		t.Errorf("neither-cell utilization %.3f, want ~0.25", neither.Utilization)
+	}
+	if neither.Steals != 0 || neither.Migrations != 0 {
+		t.Errorf("neither-cell moved tenants: %d steals, %d migrations", neither.Steals, neither.Migrations)
+	}
+	reb := byMode[StealModeRebalance]
+	if reb.RecoveryTick < 0 || reb.RecoveryTick < cfg.RebalanceEvery-1 {
+		t.Errorf("rebalancer-cell recovery tick %d, want at its first pass (>= %d)",
+			reb.RecoveryTick, cfg.RebalanceEvery-1)
+	}
+	if reb.Migrations == 0 {
+		t.Error("rebalancer-cell never migrated")
+	}
+	if reb.Steals != 0 {
+		t.Errorf("rebalancer-cell recorded %d steals with stealing disarmed", reb.Steals)
+	}
+	steal := byMode[StealModeSteal]
+	if steal.RecoveryTick != 0 {
+		t.Errorf("steal-cell recovery tick %d, want 0 (idle workers pull work immediately)", steal.RecoveryTick)
+	}
+	if steal.Utilization < 0.999 {
+		t.Errorf("steal-cell utilization %.3f, want 1.0", steal.Utilization)
+	}
+	if want := int64(cfg.Shards - 1); steal.Steals != want {
+		t.Errorf("steal-cell recorded %d steals, want %d (one per idle shard)", steal.Steals, want)
+	}
+	if steal.Migrations != 0 {
+		t.Errorf("steal-cell migrated %d tenants with the rebalancer idle", steal.Migrations)
+	}
+	if steal.Completed <= 2*neither.Completed {
+		t.Errorf("steal throughput %d not >= 2x neither %d", steal.Completed, neither.Completed)
+	}
+	for mode, res := range byMode {
+		if res.Jain < 0.99 {
+			t.Errorf("%s-cell Jain %.4f among equal-weight actives", mode, res.Jain)
+		}
+	}
+}

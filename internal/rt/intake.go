@@ -95,6 +95,15 @@ func (rg *intakeRing) publish(slot *intakeSlot, pos uint64) {
 	slot.seq.Store(pos + 1)
 }
 
+// tailSnapshot reads the producer tail without consuming anything. The idle
+// spin (steal.go) watches it to detect arriving local work: tail is the only
+// ring field producers advance, and head is consumer-owned (unsafe to read
+// off-lock), so "tail moved since the last failed dispatch" is the lock-free
+// signal that a drain would now find items.
+func (rg *intakeRing) tailSnapshot() uint64 {
+	return rg.tail.Load()
+}
+
 // beginDrain reads the tail once and returns how many positions (published
 // items, tombstones, and still-in-flight claims) the consumer must consume.
 // Taking the bound up front keeps one drain from chasing a producer storm

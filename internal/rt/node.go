@@ -98,9 +98,11 @@ func (r *Runtime) Deport(tn *Tenant) (Departure, error) {
 	}
 	// Absorb any ring-resident submissions first so the backlog is complete;
 	// the few worker signals a drain can owe are issued by post.run after the
-	// unlock (this is not a hot path).
+	// unlock (this is not a hot path). One clock read covers the drain and
+	// the removal below.
+	now := r.clock.Now()
 	post := postActions{sh: sh}
-	sh.drainLocked(&post)
+	sh.drainLocked(now, &post)
 	if tn.th.Running() || tn.detached || tn.waiters > 0 ||
 		tn.pending.Load() != int64(tn.n) {
 		// The pending-gate mismatch is a submission accepted but not yet
@@ -112,13 +114,13 @@ func (r *Runtime) Deport(tn *Tenant) (Departure, error) {
 		post.run(r)
 		return Departure{}, ErrMigrationRace
 	}
-	now := r.clock.Now()
 	th := tn.th
 	dep := Departure{Name: th.Name, Weight: th.Weight, Service: th.Service}
 	if tn.inSched {
 		th.State = sched.Blocked
 		mustSched(sh.sch.Remove(th, now))
 		tn.inSched = false
+		sh.nready.Add(-1) // was runnable-not-running (the Running case failed above)
 	}
 	if sh.frame != nil {
 		// FrameLead is read with the thread outside the runnable set (removed

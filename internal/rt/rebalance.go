@@ -13,7 +13,6 @@ package rt
 import (
 	"math"
 	"sort"
-	"sync"
 	"time"
 
 	"sfsched/internal/metrics"
@@ -216,9 +215,33 @@ func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
 		return false
 	}
 	now := r.clock.Now()
+	postSrc := postActions{sh: src}
+	postDst := postActions{sh: dst}
+	r.transferLocked(tn, src, dst, now)
+	if tn.inSched {
+		postDst.signals++
+	}
+	r.sweepIntakeLocked(src, dst, now, &postSrc, &postDst)
+	hi.mu.Unlock()
+	lo.mu.Unlock()
+	postSrc.run(r)
+	postDst.run(r)
+	return true
+}
+
+// transferLocked moves one eligible tenant (not running, not detached, no
+// blocked submitters — the caller has re-checked under the locks) from src to
+// dst with both shard locks held. It is the mechanism migrate and the steal
+// path (steal.go) share: remove from the source runnable set, carry the
+// virtual-time frame lead across instances, rebind shard bookkeeping, and
+// re-admit on the destination under the §2.3 wakeup rule. It allocates
+// nothing, which is what keeps the steal hot path at 0 allocs/op.
+func (r *Runtime) transferLocked(tn *Tenant, src, dst *shard, now simtime.Time) {
+	th := tn.th
 	if tn.inSched {
 		th.State = sched.Blocked
 		mustSched(src.sch.Remove(th, now))
+		src.nready.Add(-1)
 	}
 	delete(src.byThread, th)
 	src.weight -= th.Weight
@@ -234,45 +257,44 @@ func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
 	dst.byThread[th] = tn
 	dst.weight += th.Weight
 	dst.queued += tn.n
-	// No submitter is waiting (waiters == 0), so rebinding the backpressure
-	// condition to the destination lock is safe.
-	tn.notFull = sync.NewCond(&dst.mu)
+	// No submitter is waiting (waiters == 0, checked under both locks), so
+	// rebinding the backpressure condition variable to the destination lock
+	// is safe: Wait reads L at call time and Signal/Broadcast never touch it.
+	// Rebinding in place instead of allocating a fresh sync.Cond keeps this
+	// path allocation-free.
+	tn.notFull.L = &dst.mu
 	tn.sh.Store(dst)
-	postSrc := postActions{sh: src}
-	postDst := postActions{sh: dst}
 	if tn.inSched {
 		th.State = sched.Runnable
 		mustSched(dst.sch.Add(th, now))
-		postDst.signals++
+		dst.nready.Add(1)
 	}
-	// Sweep the source ring with both locks held, absorbing every item that
-	// could still name the old binding. The tail is read once (beginDrain),
-	// strictly after the tn.sh.Store above: a producer whose claim lands
-	// after that read also rechecks the binding after its claim, so — by the
-	// seq-cst total order on the ring tail — it observes dst and publishes a
-	// tombstone. Every real item the sweep sees therefore belongs to a
-	// tenant currently bound to src, or to tn itself (now bound to dst);
-	// each is absorbed under its owner's lock, both of which we hold.
+}
+
+// sweepIntakeLocked drains src's intake ring with both shard locks held,
+// absorbing every item that could still name a binding moved by the transfer
+// just performed. The tail is read once (beginDrain), strictly after the
+// transfer's tn.sh.Store: a producer whose claim lands after that read also
+// rechecks the binding after its claim, so — by the seq-cst total order on
+// the ring tail — it observes dst and publishes a tombstone. Every real item
+// the sweep sees therefore belongs to a tenant currently bound to src, or to
+// the moved tenant (now bound to dst); each is absorbed under its owner's
+// lock, both of which are held.
+func (r *Runtime) sweepIntakeLocked(src, dst *shard, now simtime.Time, postSrc, postDst *postActions) {
 	for i, n := 0, src.intake.beginDrain(); i < n; i++ {
 		itn, q, at := src.intake.consume()
 		if itn == nil {
 			continue // tombstone
 		}
-		home := itn.sh.Load()
-		switch home {
+		switch itn.sh.Load() {
 		case src:
-			src.applyDirectLocked(itn, q, at, &postSrc)
+			src.applyDirectLocked(itn, q, at, now, postSrc)
 		case dst:
-			dst.applyDirectLocked(itn, q, at, &postDst)
+			dst.applyDirectLocked(itn, q, at, now, postDst)
 		default:
 			panic("rt: intake item escaped both shards during migration")
 		}
 	}
-	hi.mu.Unlock()
-	lo.mu.Unlock()
-	postSrc.run(r)
-	postDst.run(r)
-	return true
 }
 
 // rebalanceLoop is the background rebalancer (concurrent mode, Shards > 1).
@@ -323,8 +345,17 @@ type ShardStat struct {
 	EnforceFlags int64
 	Interims     int64
 	Overrun      LatencyStat
-	Dispatch     LatencyStat
-	Wake         LatencyStat
+	// Work-stealing counters (steal.go), all zero with stealing disarmed:
+	// Steals counts thefts performed by this shard's idle workers, Stolen the
+	// tenants other shards pulled from this one, and StealWait the
+	// distribution of how long each stolen tenant had sat ready on its victim
+	// shard before a thief moved it — the transient-imbalance window that
+	// stealing (rather than the periodic rebalancer) closed.
+	Steals    int64
+	Stolen    int64
+	StealWait LatencyStat
+	Dispatch  LatencyStat
+	Wake      LatencyStat
 	// Intake is the submit→ready stage: how long accepted submissions sat
 	// in this shard's intake ring before a drain absorbed them into their
 	// tenant's backlog (near zero unless every worker is pinned by
@@ -358,6 +389,9 @@ func (r *Runtime) ShardStats() []ShardStat {
 		st.EnforceFlags = sh.enforceFlags
 		st.Interims = sh.interims
 		st.Overrun = latencyStatOf(&sh.overrunHist)
+		st.Steals = sh.steals
+		st.Stolen = sh.stolen
+		st.StealWait = latencyStatOf(&sh.stealHist)
 		st.Dispatch = latencyStatOf(&sh.waitHist)
 		st.Wake = latencyStatOf(&sh.wakeHist)
 		st.Intake = latencyStatOf(&sh.intakeHist)

@@ -202,6 +202,17 @@ type Config struct {
 	// DefaultRebalanceEvery; negative disables the background rebalancer
 	// (Rebalance may still be called directly).
 	RebalanceEvery time.Duration
+	// Steal arms idle-path cross-shard work stealing (steal.go, Shards > 1
+	// only): a worker that finds its shard's runqueue and intake ring empty
+	// spins briefly, then transfers the highest-surplus ready tenant from
+	// the most backlogged sibling shard — with the same lead-preserving
+	// virtual-time frame translation the rebalancer uses — before parking.
+	// This closes the §1.2 partitioned-scheduling gap at microsecond
+	// granularity while the rebalancer keeps correcting weights at its own
+	// cadence. Disarmed (the default), no steal machinery runs, per-shard
+	// dispatch traces are bit-identical to earlier releases, and TrySteal is
+	// a no-op.
+	Steal bool
 	// LockedSubmit routes every Submit/TrySubmit through the pre-intake
 	// locked slow path (shard lock plus per-submit wakeup signal) instead of
 	// the lock-free intake ring. It exists as the measured baseline for the
@@ -319,8 +330,10 @@ type Runtime struct {
 	lockedSubmit bool
 	enforce      bool
 	enforceTick  simtime.Duration
+	steal        bool
 
 	closed atomic.Bool
+	steals atomic.Int64 // successful cross-shard steals (steal.go)
 
 	// gQueued counts queued tasks across all shards, including in-flight
 	// continuations; every task stays counted until its final Complete, so
@@ -378,7 +391,8 @@ func New(cfg Config) *Runtime {
 		etick = DefaultEnforceTick
 	}
 	r := &Runtime{clock: clock, qcap: qcap, manual: cfg.Manual, preempt: cfg.Preempt,
-		lockedSubmit: cfg.LockedSubmit, enforce: cfg.Enforce, enforceTick: etick}
+		lockedSubmit: cfg.LockedSubmit, enforce: cfg.Enforce, enforceTick: etick,
+		steal: cfg.Steal && nshards > 1}
 	r.quietCond = sync.NewCond(&r.quietMu)
 	base, extra := cfg.Workers/nshards, cfg.Workers%nshards
 	for i := 0; i < nshards; i++ {
@@ -581,6 +595,7 @@ func (r *Runtime) Unregister(tn *Tenant) error {
 		tn.th.State = sched.Exited
 		mustSched(sh.sch.Remove(tn.th, r.clock.Now()))
 		tn.inSched = false
+		sh.nready.Add(-1) // was runnable-not-running (the Running case returned above)
 	}
 	sh.finalizeLocked(tn)
 	sh.mu.Unlock()
@@ -726,11 +741,12 @@ type postActions struct {
 	sh           *shard
 	signals      int     // workCond signals owed to sh
 	spareSignals int     // spareCond signals owed to sh (lanes freed by handoffs)
+	offer        bool    // sh admitted more wakeups than it has idle workers: offer a steal
 	finalized    *Tenant // tenant finalized under the shard lock, if any
 }
 
 func (p *postActions) pending() bool {
-	return p.signals > 0 || p.spareSignals > 0 || p.finalized != nil
+	return p.signals > 0 || p.spareSignals > 0 || p.offer || p.finalized != nil
 }
 
 func (p *postActions) run(r *Runtime) {
@@ -739,6 +755,10 @@ func (p *postActions) run(r *Runtime) {
 	}
 	for ; p.spareSignals > 0; p.spareSignals-- {
 		p.sh.spareCond.Signal()
+	}
+	if p.offer {
+		p.offer = false
+		r.offerSteal(p.sh)
 	}
 	if p.finalized != nil {
 		r.regMu.Lock()
@@ -799,11 +819,14 @@ func (tn *Tenant) submit(q queued, block bool) error {
 		}
 		if !ok {
 			// Ring full: absorb under the lock. Draining first keeps this
-			// producer's item behind its own earlier ring items (FIFO).
+			// producer's item behind its own earlier ring items (FIFO). The
+			// clock is re-read under the lock: the mutex wait is unbounded,
+			// and absorption instants anchor wakeup tags.
 			sh := tn.lockShard()
+			now := r.clock.Now()
 			post := postActions{sh: sh}
-			sh.drainLocked(&post)
-			sh.applyDirectLocked(tn, q, at, &post)
+			sh.drainLocked(now, &post)
+			sh.applyDirectLocked(tn, q, at, now, &post)
 			sh.mu.Unlock()
 			post.run(r)
 			return nil
@@ -815,7 +838,7 @@ func (tn *Tenant) submit(q queued, block bool) error {
 			// traces bit for bit while still exercising the ring.
 			post := postActions{sh: sh}
 			sh.mu.Lock()
-			sh.drainLocked(&post)
+			sh.drainLocked(r.clock.Now(), &post)
 			sh.mu.Unlock()
 			post.run(r)
 			return nil
@@ -831,7 +854,7 @@ func (tn *Tenant) submit(q queued, block bool) error {
 			post := postActions{sh: sh}
 			sh.mu.Lock()
 			if r.preempt && sh.pre != nil && sh.running >= sh.workers {
-				sh.drainLocked(&post)
+				sh.drainLocked(r.clock.Now(), &post)
 			} else {
 				sh.workCond.Signal()
 			}
@@ -870,9 +893,13 @@ func (tn *Tenant) enqueueSlow(q queued, at simtime.Time, block bool) error {
 		tn.notFull.Wait()
 		tn.waiters--
 	}
+	// The clock is re-read after the reservation succeeds: a backpressured
+	// submitter may have slept in notFull.Wait across many clock advances,
+	// and absorbing at the stale pre-wait instant would backdate the wakeup.
+	now := r.clock.Now()
 	post := postActions{sh: sh}
-	sh.drainLocked(&post)
-	sh.applyDirectLocked(tn, q, at, &post)
+	sh.drainLocked(now, &post)
+	sh.applyDirectLocked(tn, q, at, now, &post)
 	sh.mu.Unlock()
 	post.run(r)
 	return nil
@@ -962,10 +989,12 @@ func (r *Runtime) Dispatch(worker int) *Dispatched {
 	// Absorb any intake first: in Manual mode the ring is already empty
 	// (Submit drains eagerly), so this is a no-op that cannot perturb golden
 	// traces; in concurrent mode it lets an external dispatcher see work
-	// that has not been drained by a worker yet.
+	// that has not been drained by a worker yet. One clock read covers both
+	// the drain and the dispatch.
+	now := r.clock.Now()
 	post := postActions{sh: sh}
-	sh.drainLocked(&post)
-	d := sh.dispatchLocked(worker, r.workerLocal[worker])
+	sh.drainLocked(now, &post)
+	d := sh.dispatchLocked(worker, r.workerLocal[worker], now)
 	if d != nil && post.signals > 0 {
 		post.signals-- // this dispatch consumes one owed wakeup
 	}
@@ -984,24 +1013,25 @@ func (d *Dispatched) Complete(done bool) simtime.Duration {
 	// A running tenant is never migrated, so d's shard is still tn's.
 	sh.mu.Lock()
 	post := postActions{sh: sh}
-	elapsed := d.completeLocked(done, &post)
+	elapsed := d.completeLocked(done, r.clock.Now(), &post)
 	sh.mu.Unlock()
 	post.run(r)
 	return elapsed
 }
 
 // completeLocked is Complete under an already-held shard lock; the fused
-// worker loop uses it to complete and re-dispatch in one lock acquisition.
-// Deferred effects (worker signals, registry removal of a finalized tenant)
-// accumulate in post.
-func (d *Dispatched) completeLocked(done bool, post *postActions) simtime.Duration {
+// worker loop uses it to complete and re-dispatch in one lock acquisition,
+// and now is that lock hold's single cached clock read — the completion
+// charge, the drain absorption and the next dispatch all anchor to the same
+// instant. Deferred effects (worker signals, registry removal of a finalized
+// tenant) accumulate in post.
+func (d *Dispatched) completeLocked(done bool, now simtime.Time, post *postActions) simtime.Duration {
 	r, sh, tn := d.r, d.sh, d.tn
 	if !d.inFlight {
 		panic("rt: slice completed twice")
 	}
 	d.inFlight = false
 	d.task = queued{} // release the closure; the slot outlives the slice
-	now := r.clock.Now()
 	elapsed := now.Sub(d.start)
 	if elapsed < 0 {
 		elapsed = 0
@@ -1022,6 +1052,7 @@ func (d *Dispatched) completeLocked(done bool, post *postActions) simtime.Durati
 		th.State = sched.Runnable
 		mustSched(sh.sch.Add(th, now))
 		tn.inSched = true
+		sh.nready.Add(1)
 		if rem > 0 {
 			sh.sch.Charge(th, rem, now)
 			sh.service += rem
@@ -1039,6 +1070,9 @@ func (d *Dispatched) completeLocked(done bool, post *postActions) simtime.Durati
 		th.CPU = sched.NoCPU
 		th.LastCPU = d.local
 		sh.running--
+		// The tenant is runnable-not-running from here until the pop below
+		// decides whether it stays in the set; the Remove branch re-decrements.
+		sh.nready.Add(1)
 		sh.activeRemove(d)
 		if d.armed {
 			sh.wheel.remove(d)
@@ -1069,6 +1103,7 @@ func (d *Dispatched) completeLocked(done bool, post *postActions) simtime.Durati
 		}
 		mustSched(sh.sch.Remove(th, now))
 		tn.inSched = false
+		sh.nready.Add(-1)
 		if tn.closing {
 			sh.finalizeLocked(tn)
 			post.finalized = tn
@@ -1108,9 +1143,14 @@ func (r *Runtime) worker(slot int, sh *shard, lane int) {
 	for {
 		post := postActions{sh: sh}
 		sh.mu.Lock()
+		// One clock read per lock hold: the completion charge, the intake
+		// drain and the next dispatch below all anchor to this instant. It is
+		// re-read after every Wait and every unlock/relock, where unbounded
+		// real time may have passed.
+		now := r.clock.Now()
 		if d != nil {
 			detached := d.detached
-			d.completeLocked(done, &post)
+			d.completeLocked(done, now, &post)
 			if detached {
 				// The lane was lent away at the handoff and the record was
 				// swapped out of the slot there; pool it for the next
@@ -1120,6 +1160,10 @@ func (r *Runtime) worker(slot int, sh *shard, lane int) {
 			}
 			d = nil
 		}
+		// triedSteal bounds the idle path to one steal round per park cycle:
+		// after a failed round the worker sleeps until a signal — local work,
+		// or a sibling's surplus offer (offerSteal) — re-arms it.
+		triedSteal := false
 		for {
 			if r.closed.Load() {
 				sh.mu.Unlock()
@@ -1135,22 +1179,47 @@ func (r *Runtime) worker(slot int, sh *shard, lane int) {
 						sh.mu.Unlock()
 						post.run(r)
 						sh.mu.Lock()
+						now = r.clock.Now()
 						continue
 					}
 					// Laneless: only a handoff can make this goroutine
 					// useful, so it parks on the spare condition rather than
 					// competing for (and losing) work signals.
 					sh.spareCond.Wait()
+					now = r.clock.Now()
 					continue
 				}
 			}
-			sh.drainLocked(&post)
-			if nd := sh.dispatchLocked(slot, lane); nd != nil {
+			sh.drainLocked(now, &post)
+			if nd := sh.dispatchLocked(slot, lane, now); nd != nil {
 				d = nd
 				if post.signals > 0 {
 					post.signals-- // this dispatch consumes one owed wakeup
 				}
+				// Dispatch-side steal offer: this shard still has ready
+				// tenants beyond what its (fully busy) workers can take. A
+				// perpetually backlogged tenant re-queues from completions
+				// and never crosses the drain's wakeup admission, so without
+				// this the drain-side offer would never advertise a steady
+				// backlog to parked siblings.
+				if r.steal && sh.nready.Load() > 0 && sh.idlers.Load() == 0 {
+					post.offer = true
+				}
 				break
+			}
+			if r.steal && !triedSteal {
+				// Idle path: nothing local. Spin briefly off the lock, then
+				// try to steal from the most backlogged sibling; either way
+				// the next iteration re-checks local work (a successful steal
+				// parks the stolen tenant in this shard's scheduler, so the
+				// re-check dispatches it).
+				triedSteal = true
+				sh.mu.Unlock()
+				post.run(r)
+				r.stealForWorker(sh)
+				sh.mu.Lock()
+				now = r.clock.Now()
+				continue
 			}
 			if post.pending() {
 				// Nothing to dispatch here, but deferred effects are owed
@@ -1160,9 +1229,14 @@ func (r *Runtime) worker(slot int, sh *shard, lane int) {
 				sh.mu.Unlock()
 				post.run(r)
 				sh.mu.Lock()
+				now = r.clock.Now()
 				continue
 			}
+			sh.idlers.Add(1)
 			sh.workCond.Wait()
+			sh.idlers.Add(-1)
+			now = r.clock.Now()
+			triedSteal = false
 		}
 		sh.mu.Unlock()
 		post.run(r)
@@ -1381,6 +1455,10 @@ func (r *Runtime) Migrations() int64 { return r.migrations.Load() }
 // off since the runtime started (always 0 with enforcement disarmed).
 func (r *Runtime) Handoffs() int64 { return r.handoffs.Load() }
 
+// Steals returns how many tenants idle workers have stolen across shards
+// since the runtime started (always 0 with stealing disarmed).
+func (r *Runtime) Steals() int64 { return r.steals.Load() }
+
 // CheckInvariants validates runtime-level bookkeeping — per-shard queue and
 // weight accounting, tenant↔shard binding, the global queued count — and,
 // where the underlying schedulers support it (internal/core), each shard
@@ -1396,9 +1474,10 @@ func (r *Runtime) CheckInvariants() error {
 	// backlog. Every shard lock is held, so no drain races this one; the
 	// few worker signals a drain can owe are issued under the lock (this is
 	// not a hot path).
+	now := r.clock.Now()
 	for _, sh := range r.shards {
 		post := postActions{sh: sh}
-		sh.drainLocked(&post)
+		sh.drainLocked(now, &post)
 		for ; post.signals > 0; post.signals-- {
 			sh.workCond.Signal()
 		}
@@ -1421,7 +1500,7 @@ func (r *Runtime) CheckInvariants() error {
 	// flight, which the quiescence check below rules out.
 	var gateSlack []*Tenant
 	for _, sh := range r.shards {
-		queued, running := 0, 0
+		queued, running, ready := 0, 0, 0
 		weight := 0.0
 		for th, tn := range sh.byThread {
 			if tn.th != th || tn.sh.Load() != sh {
@@ -1436,6 +1515,8 @@ func (r *Runtime) CheckInvariants() error {
 			weight += th.Weight
 			if th.Running() {
 				running++
+			} else if tn.inSched {
+				ready++
 			}
 			// A tenant is in the runnable set exactly while it has
 			// dispatchable work; a running tenant always holds its head task
@@ -1465,6 +1546,13 @@ func (r *Runtime) CheckInvariants() error {
 		if running != sh.running {
 			return fmt.Errorf("rt: shard %d running counter %d, threads show %d",
 				sh.id, sh.running, running)
+		}
+		// nready is the lock-free victim-selection signal thieves read; it is
+		// updated under the shard lock at every runnable-set transition, so
+		// under this full freeze it must equal the runnable-not-running count.
+		if nr := sh.nready.Load(); nr != int64(ready) {
+			return fmt.Errorf("rt: shard %d nready counter %d, threads show %d",
+				sh.id, nr, ready)
 		}
 		if len(sh.active) != sh.running {
 			return fmt.Errorf("rt: shard %d running counter %d, active list holds %d",

@@ -76,6 +76,20 @@ type shard struct {
 	// histogram stage.
 	overrunHist metrics.Histogram
 
+	// Work stealing (steal.go). nready is the atomic per-shard load count
+	// thieves pick victims by: the number of runnable-not-running tenants,
+	// updated under the shard lock at every runnable-set transition but read
+	// lock-free. idlers counts workers parked on workCond, read lock-free by
+	// offerSteal to route surplus wakeups to an idle sibling. steals/stolen
+	// count this shard's thefts as thief and victim; stealHist records, at
+	// each steal, how long the stolen tenant had been ready on the victim —
+	// the imbalance window stealing closed.
+	nready    atomic.Int64
+	idlers    atomic.Int64
+	steals    int64 // steals performed by this shard's idle workers (shard lock)
+	stolen    int64 // tenants stolen from this shard (shard lock)
+	stealHist metrics.Histogram
+
 	// intake is the lock-free submit path (intake.go); drainPending is its
 	// doorbell: set by the one submitter per burst that takes the lock,
 	// cleared by drainLocked before it reads the tail, so every push strictly
@@ -122,8 +136,10 @@ func (sh *shard) intakePush(tn *Tenant, q queued, at simtime.Time) (ok, moved bo
 // scheduler together — one weight-readjustment pass via sched.BatchAdder
 // when the policy has it — with the PR-5 preemption check run batch-wide at
 // the end. Worker wakeup signals are deferred to post (issued after the
-// shard lock is released).
-func (sh *shard) drainLocked(post *postActions) {
+// shard lock is released). now is the caller's cached clock read for this
+// lock hold: every helper fused under one acquisition (complete, drain,
+// dispatch) shares one instant instead of re-reading the clock per stage.
+func (sh *shard) drainLocked(now simtime.Time, post *postActions) {
 	// Clear the doorbell before reading the tail: a push that misses this
 	// drain's tail read necessarily CASes drainPending after this store, so
 	// it wins the doorbell and a follow-up drain covers it.
@@ -132,8 +148,6 @@ func (sh *shard) drainLocked(post *postActions) {
 	if n == 0 {
 		return
 	}
-	r := sh.r
-	now := r.clock.Now()
 	woke := sh.wokeScratch[:0]
 	for i := 0; i < n; i++ {
 		tn, q, at := sh.intake.consume()
@@ -161,6 +175,14 @@ func (sh *shard) drainLocked(post *postActions) {
 	default:
 		sh.admitBatchLocked(woke, now)
 		post.signals += len(woke)
+	}
+	if sh.r.steal && int64(len(woke)) > sh.idlers.Load() {
+		// More wakeups than this shard has parked workers: the surplus would
+		// wait out the next local slice boundary. Offer it to an idle sibling
+		// (post-lock, steal.go), whose thief re-arms and pulls it over —
+		// without this, a worker that parked after a failed steal round never
+		// learns a sibling became backlogged.
+		post.offer = true
 	}
 	sh.wokeScratch = woke[:0]
 }
@@ -208,6 +230,7 @@ func (sh *shard) absorbLocked(tn *Tenant, q queued, at, now simtime.Time) bool {
 func (sh *shard) admitLocked(tn *Tenant, now simtime.Time) {
 	mustSched(sh.sch.Add(tn.th, now))
 	tn.inSched = true
+	sh.nready.Add(1)
 	sh.maybePreemptLocked(tn, now)
 }
 
@@ -230,6 +253,7 @@ func (sh *shard) admitBatchLocked(woke []*Tenant, now simtime.Time) {
 	for _, tn := range woke {
 		tn.inSched = true
 	}
+	sh.nready.Add(int64(len(woke)))
 	sh.preemptBatchLocked(woke, now)
 }
 
@@ -238,8 +262,7 @@ func (sh *shard) admitBatchLocked(woke []*Tenant, now simtime.Time) {
 // Config.LockedSubmit) and the migration sweep land here. Callers that care
 // about per-producer FIFO drain the ring first, so earlier ring items from
 // the same producer are absorbed before this one.
-func (sh *shard) applyDirectLocked(tn *Tenant, q queued, at simtime.Time, post *postActions) {
-	now := sh.r.clock.Now()
+func (sh *shard) applyDirectLocked(tn *Tenant, q queued, at, now simtime.Time, post *postActions) {
 	if sh.absorbLocked(tn, q, at, now) {
 		sh.admitLocked(tn, now)
 		post.signals++
@@ -249,9 +272,9 @@ func (sh *shard) applyDirectLocked(tn *Tenant, q queued, at simtime.Time, post *
 // dispatchLocked picks the next tenant for the given worker (global index,
 // shard-local CPU) and marks it running. The returned Dispatched is the
 // worker's reusable slot — every worker index has at most one dispatch in
-// flight (the Dispatch contract), so the hot path allocates nothing.
-func (sh *shard) dispatchLocked(worker, local int) *Dispatched {
-	now := sh.r.clock.Now()
+// flight (the Dispatch contract), so the hot path allocates nothing. now is
+// the caller's cached clock read for this lock hold.
+func (sh *shard) dispatchLocked(worker, local int, now simtime.Time) *Dispatched {
 	th := sh.sch.Pick(local, now)
 	if th == nil {
 		return nil
@@ -262,6 +285,7 @@ func (sh *shard) dispatchLocked(worker, local int) *Dispatched {
 	}
 	th.CPU = local
 	sh.running++
+	sh.nready.Add(-1)
 	// Latency accounting: ready→dispatch on every dispatch, wakeup→first
 	// dispatch when a wakeup Submit is still pending its dispatch. Both are
 	// bare histogram increments (metrics.Histogram is fixed-size), keeping

@@ -310,6 +310,7 @@ type RuntimeConfig struct {
 	Enforce        bool
 	EnforceTick    Duration
 	SpareWorkers   int
+	Steal          bool
 
 	// Enforcement groups the involuntary slice-enforcement knobs
 	// (rt.Config.Enforce/EnforceTick/SpareWorkers).
@@ -334,10 +335,16 @@ type EnforcementConfig struct {
 
 // ShardingConfig groups RuntimeConfig's dispatch-sharding knobs: Shards
 // splits dispatch into per-CPU runqueues (0 or 1 = the central queue),
-// RebalanceEvery is the background rebalancer period (negative disables).
+// RebalanceEvery is the background rebalancer period (negative disables),
+// and Steal arms idle-path cross-shard work stealing — an idle worker pulls
+// the highest-surplus ready tenant from the most backlogged sibling shard
+// with lead-preserving frame translation before parking, closing the
+// transient-imbalance window between rebalancer passes (rt.Config.Steal,
+// DESIGN.md §12).
 type ShardingConfig struct {
 	Shards         int
 	RebalanceEvery time.Duration
+	Steal          bool
 }
 
 // IntakeConfig groups RuntimeConfig's submit-side knobs: QueueCap bounds
@@ -363,6 +370,7 @@ func (c RuntimeConfig) flatten() rt.Config {
 		RebalanceEvery: c.RebalanceEvery,
 		LockedSubmit:   c.LockedSubmit || c.Intake.Locked,
 		Enforce:        c.Enforce || c.Enforcement.Enabled,
+		Steal:          c.Steal || c.Sharding.Steal,
 		EnforceTick:    c.EnforceTick,
 		SpareWorkers:   c.SpareWorkers,
 	}
