@@ -1,0 +1,127 @@
+package sfsched_test
+
+// Architecture guard for the engine seam: internal/engine owns ALL dispatch
+// charge arithmetic, and the two clock drivers (internal/machine, internal/rt)
+// must route every decision through it. The guard parses the drivers' sources
+// and fails if either stops importing the engine or reaches around it —
+// calling a scheduler's Charge/InterimCharge directly, or mutating a Slice's
+// accounting fields — which would let the historical duplicated-remainder
+// arithmetic creep back in and silently re-fork the decision cores that the
+// structural golden tests assume are one.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const enginePath = "sfsched/internal/engine"
+
+// driverSources yields the non-test .go files of one driver package.
+func driverSources(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		t.Fatalf("no sources under %s", dir)
+	}
+	return files
+}
+
+// chargeCalls and sliceWrites are the seam violations: direct scheduler
+// charge calls and assignments to engine.Slice accounting fields. The
+// machine's Charged *hook* (a past-tense observation callback) is distinct
+// from the scheduler's Charge mutation and stays legal.
+var (
+	forbiddenCalls  = map[string]bool{"Charge": true, "InterimCharge": true}
+	forbiddenWrites = map[string]bool{"Charged": true, "LastCharge": true}
+)
+
+func auditDriver(t *testing.T, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	importsEngine := false
+	for _, path := range driverSources(t, dir) {
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == enginePath {
+				importsEngine = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && forbiddenCalls[sel.Sel.Name] {
+					t.Errorf("%s: direct scheduler %s call bypasses the engine",
+						fset.Position(n.Pos()), sel.Sel.Name)
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && forbiddenWrites[sel.Sel.Name] {
+						t.Errorf("%s: write to Slice.%s outside the engine",
+							fset.Position(lhs.Pos()), sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if !importsEngine {
+		t.Errorf("%s does not import %s: driver detached from the shared decision core", dir, enginePath)
+	}
+}
+
+// TestArchitectureEngineSeam pins the multi-layer invariant directly: both
+// clock drivers import the engine, and neither re-implements its charge
+// settlement.
+func TestArchitectureEngineSeam(t *testing.T) {
+	for _, dir := range []string{
+		filepath.Join("internal", "machine"),
+		filepath.Join("internal", "rt"),
+	} {
+		t.Run(dir, func(t *testing.T) { auditDriver(t, dir) })
+	}
+}
+
+// TestEngineOwnsChargeArithmetic is the inverse direction: the engine itself
+// must still contain the charge calls (exactly the interim-or-fallback pair
+// plus the settlement), so the forbidden-token list above cannot rot into
+// vacuous truth if the methods are renamed.
+func TestEngineOwnsChargeArithmetic(t *testing.T) {
+	fset := token.NewFileSet()
+	calls := map[string]int{}
+	for _, path := range driverSources(t, filepath.Join("internal", "engine")) {
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && forbiddenCalls[sel.Sel.Name] {
+					calls[sel.Sel.Name]++
+				}
+			}
+			return true
+		})
+	}
+	if calls["Charge"] == 0 || calls["InterimCharge"] == 0 {
+		t.Fatalf("engine no longer calls the charge methods the guard forbids elsewhere (%v); update the guard's token list", calls)
+	}
+}

@@ -1,0 +1,54 @@
+package sfsched_test
+
+// Microbenchmark of the extracted dispatch engine in isolation: one full
+// pick→begin→settle decision cycle through internal/engine over the SFS core,
+// with no driver (no machine event heap, no rt shard locks) around it. This
+// prices the seam itself — what both clock drivers now pay per dispatch for
+// routing every decision through the shared core — and CI's regression gate
+// holds it to the BENCH_10.json baseline. The cycle must stay allocation-free:
+// the engine adds one nil recorder check per decision and nothing else.
+
+import (
+	"fmt"
+	"testing"
+
+	"sfsched/internal/core"
+	"sfsched/internal/engine"
+	"sfsched/internal/sched"
+	"sfsched/internal/simtime"
+)
+
+func BenchmarkEngineDispatch(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("threads=%d", n), func(b *testing.B) {
+			const q = 20 * simtime.Millisecond
+			eng := engine.New(core.New(1, core.WithQuantum(q)))
+			now := simtime.Time(0)
+			for i := 0; i < n; i++ {
+				th := &sched.Thread{ID: i + 1, Weight: float64(1 + i%7), Phi: float64(1 + i%7),
+					CPU: sched.NoCPU, LastCPU: sched.NoCPU}
+				if err := eng.Admit(th, now); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var sl engine.Slice
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th, err := eng.Pick(0, now)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Begin(&sl, th, 0, now, now); err != nil {
+					b.Fatal(err)
+				}
+				now = now.Add(sl.Quantum)
+				eng.Settle(&sl, now, engine.NoCap)
+				// The driver's lane bookkeeping: the thread leaves its
+				// processor and stays runnable for the next pick.
+				th.LastCPU = 0
+				th.CPU = sched.NoCPU
+			}
+		})
+	}
+}

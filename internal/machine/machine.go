@@ -23,6 +23,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"sfsched/internal/engine"
 	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
 	"sfsched/internal/xrand"
@@ -143,11 +144,14 @@ type SpawnConfig struct {
 }
 
 type cpuState struct {
-	cur      *Task
-	last     *Task
-	runStart simtime.Time // service accrual start (after switch cost)
-	epoch    uint64
-	idleAt   simtime.Time
+	cur  *Task
+	last *Task
+	// sl is the in-flight slice's accounting (engine.Slice.LastCharge is
+	// the service accrual start, advanced by interim installments — the
+	// historical runStart).
+	sl     engine.Slice
+	epoch  uint64
+	idleAt simtime.Time
 }
 
 type event struct {
@@ -175,9 +179,15 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// Machine is a simulated SMP. Not safe for concurrent use.
+// Machine is a simulated SMP: the event-driven clock driver over the shared
+// dispatch engine (internal/engine), which owns every scheduling decision —
+// admission, pick validation, quantum grants, charge arithmetic, preemption
+// ordering. The machine owns what a clock driver owns: the event heap, the
+// simulated clock, task behaviors and burst bookkeeping. Not safe for
+// concurrent use.
 type Machine struct {
 	sch     sched.Scheduler
+	eng     *engine.Engine
 	cpus    []cpuState
 	ctxCost simtime.Duration
 	preempt bool
@@ -191,6 +201,10 @@ type Machine struct {
 	tasks map[*sched.Thread]*Task
 	hooks Hooks
 	stats Stats
+
+	// victims is the wakeup-preemption scan's scratch (no per-wakeup
+	// allocation).
+	victims []*sched.Thread
 }
 
 // New builds a machine from cfg. It panics on inconsistent static
@@ -208,11 +222,13 @@ func New(cfg Config) *Machine {
 	}
 	m := &Machine{
 		sch:     cfg.Scheduler,
+		eng:     engine.New(cfg.Scheduler),
 		cpus:    make([]cpuState, cfg.CPUs),
 		ctxCost: cfg.ContextSwitchCost,
 		preempt: !cfg.DisableWakePreemption,
 		rng:     xrand.New(cfg.Seed),
 		tasks:   make(map[*sched.Thread]*Task),
+		victims: make([]*sched.Thread, 0, cfg.CPUs),
 	}
 	return m
 }
@@ -231,6 +247,11 @@ func (m *Machine) Stats() Stats { return m.stats }
 
 // SetHooks installs lifecycle observers; call before Run.
 func (m *Machine) SetHooks(h Hooks) { m.hooks = h }
+
+// SetDecisionRecorder attaches rec to the machine's dispatch engine. The
+// structural golden tests use it to capture the exact decision trace and
+// compare it, event for event, against a runtime driving the same engine.
+func (m *Machine) SetDecisionRecorder(rec engine.Recorder) { m.eng.SetRecorder(rec) }
 
 func (m *Machine) push(at simtime.Time, fn func()) {
 	if at < m.now {
@@ -308,9 +329,8 @@ func (m *Machine) Kill(k *Task) {
 		m.stop(k.t.CPU)
 	}
 	if k.t.State == sched.Runnable {
-		k.t.State = sched.Exited
-		if err := m.sch.Remove(k.t, m.now); err != nil {
-			panic(fmt.Sprintf("machine: kill: %v", err))
+		if err := m.eng.Depart(k.t, sched.Exited, m.now); err != nil {
+			panic(fmt.Errorf("machine: kill: %w", err))
 		}
 		if m.hooks.Unrunnable != nil {
 			m.hooks.Unrunnable(k.t, m.now)
@@ -332,10 +352,7 @@ func (m *Machine) Kill(k *Task) {
 func (m *Machine) ServiceNow(k *Task) simtime.Duration {
 	s := k.t.Service
 	if k.t.Running() {
-		c := &m.cpus[k.t.CPU]
-		if m.now > c.runStart {
-			s += m.now.Sub(c.runStart)
-		}
+		s += m.cpus[k.t.CPU].sl.Uncharged(m.now)
 	}
 	return s
 }
@@ -374,10 +391,9 @@ func (m *Machine) arrive(k *Task) {
 		return
 	}
 	k.loadStep()
-	k.t.State = sched.Runnable
 	k.lastWake = m.now
-	if err := m.sch.Add(k.t, m.now); err != nil {
-		panic(fmt.Sprintf("machine: arrive: %v", err))
+	if err := m.eng.Admit(k.t, m.now); err != nil {
+		panic(fmt.Errorf("machine: arrive: %w", err))
 	}
 	if m.hooks.Runnable != nil {
 		m.hooks.Runnable(k.t, m.now)
@@ -405,23 +421,22 @@ func (k *Task) loadStep() {
 // reflects reality mid-quantum. This stands in for the kernel's timer-tick
 // accounting: without it a CPU hog halfway through a 200 ms quantum would
 // still look freshly recharged to preemption comparisons. The pending
-// quantum-end event stays valid: it charges only the remainder.
+// quantum-end event stays valid: the engine installment charges only the
+// accrual since the last one, capped at the task's remaining burst.
 func (m *Machine) syncRunning() {
 	for i := range m.cpus {
 		c := &m.cpus[i]
-		if c.cur == nil || m.now <= c.runStart {
+		if c.cur == nil {
 			continue
 		}
-		ran := m.now.Sub(c.runStart)
-		if ran > c.cur.rem {
-			ran = c.cur.rem
+		ran := m.eng.ChargeInstallment(&c.sl, m.now, c.cur.rem)
+		if ran == 0 {
+			continue
 		}
-		m.sch.Charge(c.cur.t, ran, m.now)
 		if m.hooks.Charged != nil {
 			m.hooks.Charged(c.cur.t, ran, m.now)
 		}
 		c.cur.rem -= ran
-		c.runStart = m.now
 	}
 }
 
@@ -438,13 +453,13 @@ func (m *Machine) wakePreempt(k *Task) {
 		}
 	}
 	m.syncRunning()
-	victim := -1
+	running := m.victims[:0]
 	for i := range m.cpus {
-		if victim == -1 || m.sch.Less(m.cpus[victim].cur.t, m.cpus[i].cur.t) {
-			victim = i
-		}
+		running = append(running, m.cpus[i].cur.t)
 	}
-	if victim >= 0 && m.sch.Less(k.t, m.cpus[victim].cur.t) {
+	victim := m.eng.LessVictim(running)
+	m.victims = running[:0]
+	if victim >= 0 && m.eng.Prefer(k.t, m.cpus[victim].cur.t) {
 		m.stop(victim)
 		m.stats.Preemptions++
 	}
@@ -459,14 +474,9 @@ func (m *Machine) stop(cpu int) *Task {
 	if k == nil {
 		return nil
 	}
-	var ran simtime.Duration
-	if m.now > c.runStart {
-		ran = m.now.Sub(c.runStart)
-	}
-	if ran > k.rem {
-		ran = k.rem // cannot consume beyond the burst
-	}
-	m.sch.Charge(k.t, ran, m.now)
+	// Settle the remainder through the engine, capped at the remaining
+	// burst (a task cannot consume beyond it).
+	ran := m.eng.Settle(&c.sl, m.now, k.rem)
 	if m.hooks.Charged != nil {
 		m.hooks.Charged(k.t, ran, m.now)
 	}
@@ -500,9 +510,8 @@ func (m *Machine) finishBurst(k *Task) {
 	}
 	switch k.step.Then {
 	case ThenExit:
-		k.t.State = sched.Exited
-		if err := m.sch.Remove(k.t, m.now); err != nil {
-			panic(fmt.Sprintf("machine: exit: %v", err))
+		if err := m.eng.Depart(k.t, sched.Exited, m.now); err != nil {
+			panic(fmt.Errorf("machine: exit: %w", err))
 		}
 		if m.hooks.Unrunnable != nil {
 			m.hooks.Unrunnable(k.t, m.now)
@@ -513,9 +522,8 @@ func (m *Machine) finishBurst(k *Task) {
 			k.onExit(m.now)
 		}
 	case ThenBlock:
-		k.t.State = sched.Blocked
-		if err := m.sch.Remove(k.t, m.now); err != nil {
-			panic(fmt.Sprintf("machine: block: %v", err))
+		if err := m.eng.Depart(k.t, sched.Blocked, m.now); err != nil {
+			panic(fmt.Errorf("machine: block: %w", err))
 		}
 		if m.hooks.Unrunnable != nil {
 			m.hooks.Unrunnable(k.t, m.now)
@@ -532,10 +540,9 @@ func (m *Machine) wake(k *Task) {
 		return
 	}
 	k.loadStep()
-	k.t.State = sched.Runnable
 	k.lastWake = m.now
-	if err := m.sch.Add(k.t, m.now); err != nil {
-		panic(fmt.Sprintf("machine: wake: %v", err))
+	if err := m.eng.Admit(k.t, m.now); err != nil {
+		panic(fmt.Errorf("machine: wake: %w", err))
 	}
 	if m.hooks.Runnable != nil {
 		m.hooks.Runnable(k.t, m.now)
@@ -544,22 +551,25 @@ func (m *Machine) wake(k *Task) {
 	m.schedule()
 }
 
-// schedule fills every idle CPU with the scheduler's picks.
+// schedule fills every idle CPU with the engine's validated picks. Contract
+// violations surface as panics carrying the engine's sentinel errors
+// (engine.ErrThreadRunning, engine.ErrUnknownThread), so they report
+// identically from both drivers.
 func (m *Machine) schedule() {
 	for i := range m.cpus {
 		if m.cpus[i].cur != nil {
 			continue
 		}
-		t := m.sch.Pick(i, m.now)
+		t, err := m.eng.Pick(i, m.now)
+		if err != nil {
+			panic(fmt.Errorf("machine: %w", err))
+		}
 		if t == nil {
 			continue
 		}
 		k, ok := m.tasks[t]
 		if !ok {
-			panic(fmt.Sprintf("machine: scheduler picked unknown thread %v", t))
-		}
-		if k.t.Running() {
-			panic(fmt.Sprintf("machine: scheduler picked running thread %v", t))
+			panic(fmt.Errorf("machine: %w: %v", engine.ErrUnknownThread, t))
 		}
 		m.dispatch(i, k)
 	}
@@ -578,15 +588,12 @@ func (m *Machine) dispatch(cpu int, k *Task) {
 	if k.t.LastCPU != sched.NoCPU && k.t.LastCPU != cpu {
 		m.stats.Migrations++
 	}
-	slice := m.sch.Timeslice(k.t, m.now)
-	if slice <= 0 {
-		panic(fmt.Sprintf("machine: %s granted non-positive timeslice", m.sch.Name()))
+	if err := m.eng.Begin(&c.sl, k.t, cpu, m.now, start); err != nil {
+		panic(fmt.Errorf("machine: %w", err))
 	}
-	runFor := simtime.Min(slice, k.rem)
+	runFor := simtime.Min(c.sl.Quantum, k.rem)
 	c.cur = k
 	c.last = k
-	c.runStart = start
-	k.t.CPU = cpu
 	c.epoch++
 	epoch := c.epoch
 	m.push(start.Add(runFor), func() { m.cpuStop(cpu, epoch) })

@@ -58,6 +58,7 @@ import (
 	"sort"
 	"time"
 
+	"sfsched/internal/engine"
 	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
 )
@@ -163,17 +164,12 @@ func (w *timerWheel) expire(now simtime.Time, due []*Dispatched) []*Dispatched {
 func (sh *shard) enforceLocked(now simtime.Time, post *postActions) {
 	// Phase 1: interim-charge every in-flight slice up to now, bounding tag
 	// staleness to one pass period.
-	if sh.interim != nil {
+	if sh.eng.Interim != nil {
 		for _, d := range sh.active {
-			ran := now.Sub(d.lastCharge)
-			if ran <= 0 {
-				continue
+			if ran := sh.eng.InterimInstallment(&d.sl, now); ran > 0 {
+				sh.service += ran
+				sh.interims++
 			}
-			sh.interim.InterimCharge(d.tn.th, ran, now)
-			d.charged += ran
-			d.lastCharge = now
-			sh.service += ran
-			sh.interims++
 		}
 	}
 	// Phase 2: deadline expiry. The due set is ordered by (deadline, thread
@@ -239,14 +235,10 @@ func (sh *shard) detachLocked(d *Dispatched, now simtime.Time, post *postActions
 	// policies without InterimCharger (time sharing, lottery) are charged
 	// here exactly as a voluntary completion would, so deadline handoffs work
 	// under every policy.
-	if ran := now.Sub(d.lastCharge); ran > 0 {
-		sh.sch.Charge(th, ran, now)
-		d.charged += ran
-		d.lastCharge = now
-		sh.service += ran
+	if d.sl.Uncharged(now) > 0 {
+		sh.service += sh.eng.Settle(&d.sl, now, engine.NoCap)
 	}
-	th.State = sched.Blocked
-	mustSched(sh.sch.Remove(th, now))
+	mustSched(sh.eng.Depart(th, sched.Blocked, now))
 	tn.inSched = false
 	tn.detached = true
 	d.detached = true

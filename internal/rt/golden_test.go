@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"sfsched/internal/core"
+	"sfsched/internal/engine"
 	"sfsched/internal/machine"
 	"sfsched/internal/rt"
 	"sfsched/internal/sched"
@@ -42,8 +43,8 @@ func (sc tenantScript) burst(i int) simtime.Duration { return sc.bursts[i%len(sc
 func (sc tenantScript) sleep(i int) simtime.Duration { return sc.sleeps[i%len(sc.sleeps)] }
 
 // machineTrace runs the scripts on the simulated machine and returns the
-// charge sequence and final per-thread service.
-func machineTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScript, horizon simtime.Time) ([]chargeEvent, map[int]simtime.Duration) {
+// charge sequence, final per-thread service, and the engine decision trace.
+func machineTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScript, horizon simtime.Time) ([]chargeEvent, map[int]simtime.Duration, []engine.Event) {
 	t.Helper()
 	m := machine.New(machine.Config{
 		CPUs:                  p,
@@ -52,6 +53,8 @@ func machineTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScrip
 	})
 	rec := trace.NewRecorder(1 << 22)
 	m.SetHooks(rec.Hooks())
+	dec := &decisionLog{}
+	m.SetDecisionRecorder(dec)
 	tasks := make([]*machine.Task, len(scripts))
 	for i, sc := range scripts {
 		sc := sc
@@ -83,7 +86,7 @@ func machineTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScrip
 	for _, k := range tasks {
 		services[k.Thread().ID] = k.Thread().Service
 	}
-	return charges, services
+	return charges, services, dec.events
 }
 
 // driverEvent mirrors the machine's event queue entries: fire at an instant,
@@ -118,7 +121,7 @@ func (h *driverQueue) Pop() any {
 // running slices, but this driver's modelled tasks never poll them — pinning
 // that flag raising alone (the Add/Pick/Charge pipeline with the preemption
 // hook in place) leaves the decision trace untouched.
-func runtimeTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScript, horizon simtime.Time, preempt bool) ([]chargeEvent, map[int]simtime.Duration) {
+func runtimeTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScript, horizon simtime.Time, preempt bool) ([]chargeEvent, map[int]simtime.Duration, []engine.Event) {
 	t.Helper()
 	clock := rt.NewFakeClock()
 	r := rt.New(rt.Config{
@@ -129,6 +132,8 @@ func runtimeTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScrip
 		QueueCap: 4,
 		Preempt:  preempt,
 	})
+	dec := &decisionLog{}
+	r.SetDecisionRecorder(0, dec)
 	type tstate struct {
 		tn  *rt.Tenant
 		sc  tenantScript
@@ -244,7 +249,7 @@ func runtimeTrace(t *testing.T, p int, q simtime.Duration, scripts []tenantScrip
 		t.Fatalf("invariants after run: %v", err)
 	}
 	r.Close()
-	return charges, services
+	return charges, services, dec.events
 }
 
 func goldenScenarios() []struct {
@@ -317,8 +322,8 @@ func TestGoldenRuntimeVsMachine(t *testing.T) {
 				name += "/preempt-armed"
 			}
 			t.Run(name, func(t *testing.T) {
-				mc, ms := machineTrace(t, sc.cpus, sc.quantum, sc.scripts, sc.horizon)
-				rc, rs := runtimeTrace(t, sc.cpus, sc.quantum, sc.scripts, sc.horizon, preempt)
+				mc, ms, _ := machineTrace(t, sc.cpus, sc.quantum, sc.scripts, sc.horizon)
+				rc, rs, _ := runtimeTrace(t, sc.cpus, sc.quantum, sc.scripts, sc.horizon, preempt)
 				if len(mc) < 100 {
 					t.Fatalf("degenerate scenario: only %d charges", len(mc))
 				}

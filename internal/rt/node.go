@@ -117,21 +117,17 @@ func (r *Runtime) Deport(tn *Tenant) (Departure, error) {
 	th := tn.th
 	dep := Departure{Name: th.Name, Weight: th.Weight, Service: th.Service}
 	if tn.inSched {
-		th.State = sched.Blocked
-		mustSched(sh.sch.Remove(th, now))
+		mustSched(sh.eng.Depart(th, sched.Blocked, now))
 		tn.inSched = false
 		sh.nready.Add(-1) // was runnable-not-running (the Running case failed above)
 	}
-	if sh.frame != nil {
-		// FrameLead is read with the thread outside the runnable set (removed
-		// just above), per the sched.FrameTranslator contract. A negative
-		// lead (behind the source's virtual time) is clamped: the wakeup rule
-		// S_i = max(F_i, v) would erase it on re-admission anyway, and the
-		// clamp keeps cross-machine migration from minting credit.
-		lead := sh.frame.FrameLead(th)
-		if lead < 0 {
-			lead = 0
-		}
+	// The frame lead is read with the thread outside the runnable set
+	// (departed just above), per the sched.FrameTranslator contract. A
+	// negative lead (behind the source's virtual time) is clamped by the
+	// engine: the wakeup rule S_i = max(F_i, v) would erase it on
+	// re-admission anyway, and the clamp keeps cross-machine migration from
+	// minting credit.
+	if lead, ok := sh.eng.CaptureLead(th); ok {
 		dep.Lead, dep.HasLead = lead, true
 	}
 	if tn.n > 0 {
@@ -171,11 +167,11 @@ func (r *Runtime) Admit(dep Departure) (*Tenant, error) {
 	// charge by increment), so restoring it before the first submission
 	// keeps cluster-wide shares, lags and Jain continuous across the move.
 	tn.th.Service = dep.Service
-	if dep.HasLead && sh.frame != nil {
+	if dep.HasLead {
 		// The thread has never been submitted, so it is outside every
 		// runnable set — the state SetFrameLead requires. Its first Add
 		// then applies the wakeup rule against the restored tag.
-		sh.frame.SetFrameLead(tn.th, dep.Lead)
+		sh.eng.RestoreLead(tn.th, dep.Lead)
 	}
 	sh.mu.Unlock()
 	for _, q := range dep.Backlog {

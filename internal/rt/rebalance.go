@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"sfsched/internal/engine"
 	"sfsched/internal/metrics"
 	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
@@ -147,12 +148,12 @@ func (r *Runtime) Rebalance() int {
 				continue
 			}
 			surplus := 0.0
-			if sh.lag != nil && tn.inSched {
-				surplus = sh.lag.FreshSurplus(th)
+			if sh.eng.Lag != nil && tn.inSched {
+				surplus = sh.eng.Surplus(th)
 			}
 			cands = append(cands, candidate{tn, surplus})
 		}
-		if sh.lag == nil && len(cands) > 1 {
+		if sh.eng.Lag == nil && len(cands) > 1 {
 			// Generic fallback: surplus = received − entitled over the
 			// candidate set (the negated metrics lag).
 			services := make([]simtime.Duration, len(cands))
@@ -202,16 +203,10 @@ func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
 	if src == dst {
 		return false
 	}
-	lo, hi := src, dst
-	if hi.id < lo.id {
-		lo, hi = hi, lo
-	}
-	lo.mu.Lock()
-	hi.mu.Lock()
+	lockPair(src, dst)
 	th := tn.th
 	if tn.sh.Load() != src || tn.closing || tn.gone || th.Running() || tn.detached || tn.waiters > 0 {
-		hi.mu.Unlock()
-		lo.mu.Unlock()
+		unlockPair(src, dst)
 		return false
 	}
 	now := r.clock.Now()
@@ -222,8 +217,7 @@ func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
 		postDst.signals++
 	}
 	r.sweepIntakeLocked(src, dst, now, &postSrc, &postDst)
-	hi.mu.Unlock()
-	lo.mu.Unlock()
+	unlockPair(src, dst)
 	postSrc.run(r)
 	postDst.run(r)
 	return true
@@ -239,20 +233,13 @@ func (r *Runtime) migrate(tn *Tenant, src, dst *shard) bool {
 func (r *Runtime) transferLocked(tn *Tenant, src, dst *shard, now simtime.Time) {
 	th := tn.th
 	if tn.inSched {
-		th.State = sched.Blocked
-		mustSched(src.sch.Remove(th, now))
+		mustSched(src.eng.Depart(th, sched.Blocked, now))
 		src.nready.Add(-1)
 	}
 	delete(src.byThread, th)
 	src.weight -= th.Weight
 	src.queued -= tn.n
-	if src.frame != nil && dst.frame != nil {
-		lead := src.frame.FrameLead(th)
-		if lead < 0 {
-			lead = 0
-		}
-		dst.frame.SetFrameLead(th, lead)
-	}
+	engine.TransferLead(src.eng, dst.eng, th)
 	th.LastCPU = sched.NoCPU
 	dst.byThread[th] = tn
 	dst.weight += th.Weight
@@ -265,8 +252,7 @@ func (r *Runtime) transferLocked(tn *Tenant, src, dst *shard, now simtime.Time) 
 	tn.notFull.L = &dst.mu
 	tn.sh.Store(dst)
 	if tn.inSched {
-		th.State = sched.Runnable
-		mustSched(dst.sch.Add(th, now))
+		mustSched(dst.eng.Admit(th, now))
 		dst.nready.Add(1)
 	}
 }
@@ -378,9 +364,9 @@ func (r *Runtime) ShardStats() []ShardStat {
 		st := &out[i]
 		st.Shard = i
 		st.Workers = sh.workers
-		st.Policy = sh.sch.Name()
+		st.Policy = sh.eng.Scheduler().Name()
 		st.Tenants = len(sh.byThread)
-		st.Runnable = sh.sch.Runnable()
+		st.Runnable = sh.eng.Scheduler().Runnable()
 		st.Weight = sh.weight
 		st.Service = sh.service
 		st.Jain = 1
@@ -395,8 +381,8 @@ func (r *Runtime) ShardStats() []ShardStat {
 		st.Dispatch = latencyStatOf(&sh.waitHist)
 		st.Wake = latencyStatOf(&sh.wakeHist)
 		st.Intake = latencyStatOf(&sh.intakeHist)
-		if sh.vt != nil {
-			st.VirtualTime = sh.vt.VirtualTime()
+		if sh.eng.VT != nil {
+			st.VirtualTime = sh.eng.VT.VirtualTime()
 		}
 		var services []simtime.Duration
 		var weights []float64

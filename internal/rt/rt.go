@@ -79,6 +79,7 @@ import (
 	"time"
 
 	"sfsched/internal/core"
+	"sfsched/internal/engine"
 	"sfsched/internal/metrics"
 	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
@@ -130,7 +131,7 @@ type SliceCtx struct {
 }
 
 // Slice returns the granted timeslice hint.
-func (c SliceCtx) Slice() simtime.Duration { return c.d.slice }
+func (c SliceCtx) Slice() simtime.Duration { return c.d.sl.Quantum }
 
 // Preempted reports whether the shard has raised the cooperative preemption
 // flag on this slice: a newly woken tenant out-ranks this one right now, and
@@ -402,27 +403,23 @@ func New(cfg Config) *Runtime {
 		}
 		sh := &shard{r: r, id: i, workers: count,
 			firstWorker: len(r.workerShard), byThread: make(map[*sched.Thread]*Tenant)}
-		sh.sch = policy(count)
-		if sh.sch == nil {
+		sch := policy(count)
+		if sch == nil {
 			panic(fmt.Sprintf("rt: Policy returned nil for shard %d", i))
 		}
 		for _, prev := range r.shards {
-			if prev.sch == sh.sch {
+			if prev.eng.Scheduler() == sch {
 				panic("rt: Policy must return a fresh scheduler instance per shard")
 			}
 		}
-		if sh.sch.NumCPU() != count {
+		if sch.NumCPU() != count {
 			panic(fmt.Sprintf("rt: %d workers but scheduler configured for %d CPUs",
-				count, sh.sch.NumCPU()))
+				count, sch.NumCPU()))
 		}
-		// Capability discovery: one assertion per shard, never again on the
+		// The shard's engine instance wraps its private scheduler; capability
+		// discovery happens once inside engine.New, never again on the
 		// dispatch or rebalance paths.
-		sh.vt, _ = sh.sch.(sched.VirtualTimer)
-		sh.lag, _ = sh.sch.(sched.LagReporter)
-		sh.frame, _ = sh.sch.(sched.FrameTranslator)
-		sh.pre, _ = sh.sch.(sched.Preempter)
-		sh.badd, _ = sh.sch.(sched.BatchAdder)
-		sh.interim, _ = sh.sch.(sched.InterimCharger)
+		sh.eng = engine.New(sch)
 		sh.workCond = sync.NewCond(&sh.mu)
 		sh.spareCond = sync.NewCond(&sh.mu)
 		sh.intake.init()
@@ -592,8 +589,7 @@ func (r *Runtime) Unregister(tn *Tenant) error {
 	}
 	sh.dropBacklogLocked(tn)
 	if tn.inSched {
-		tn.th.State = sched.Exited
-		mustSched(sh.sch.Remove(tn.th, r.clock.Now()))
+		mustSched(sh.eng.Depart(tn.th, sched.Exited, r.clock.Now()))
 		tn.inSched = false
 		sh.nready.Add(-1) // was runnable-not-running (the Running case returned above)
 	}
@@ -619,7 +615,7 @@ func (r *Runtime) SetWeight(tn *Tenant, w float64) error {
 		return ErrTenantClosed
 	}
 	old := tn.th.Weight
-	if err := sh.sch.SetWeight(tn.th, w, r.clock.Now()); err != nil {
+	if err := sh.eng.Scheduler().SetWeight(tn.th, w, r.clock.Now()); err != nil {
 		return err
 	}
 	sh.weight += w - old
@@ -853,7 +849,7 @@ func (tn *Tenant) submit(q queued, block bool) error {
 			// preemption flag is raised at the Submit instant.
 			post := postActions{sh: sh}
 			sh.mu.Lock()
-			if r.preempt && sh.pre != nil && sh.running >= sh.workers {
+			if r.preempt && sh.eng.Pre != nil && sh.running >= sh.workers {
 				sh.drainLocked(r.clock.Now(), &post)
 			} else {
 				sh.workCond.Signal()
@@ -912,13 +908,19 @@ func (tn *Tenant) Queued() int { return int(tn.pending.Load()) }
 
 // Dispatched is an in-flight slice: a tenant's head task granted to a worker.
 type Dispatched struct {
-	r        *Runtime
-	sh       *shard
-	tn       *Tenant
-	worker   int // global dispatch slot index
-	local    int // CPU index within the shard (the lane)
-	start    simtime.Time
-	slice    simtime.Duration
+	r      *Runtime
+	sh     *shard
+	tn     *Tenant
+	worker int // global dispatch slot index
+	local  int // CPU index within the shard (the lane)
+	// sl is the slice's charge accounting, owned by the shared engine:
+	// engine.Slice.Charged is what mid-slice installments (interim charges,
+	// the settlement at an involuntary handoff) already accounted, and
+	// LastCharge the newest installment's instant — dispatch start when none
+	// have landed — so Complete settles only the remainder and preemption
+	// ranking projects tags forward by only the genuinely uncharged
+	// in-flight service.
+	sl       engine.Slice
 	task     queued
 	inFlight bool // set by Dispatch, cleared by Complete
 	// preempted is the cooperative preemption flag, embedded in the record
@@ -927,14 +929,6 @@ type Dispatched struct {
 	// (maybePreemptLocked) or by the enforcer at slice expiry; cleared when
 	// the record's slot is next dispatched.
 	preempted atomic.Bool
-	// charged is how much of the slice has already been accounted to the
-	// scheduler by mid-slice installments (interim charges, the settlement
-	// at an involuntary handoff); Complete charges only the remainder.
-	// lastCharge is the instant of the newest installment — dispatch start
-	// when none have landed — so preemption ranking projects tags forward by
-	// only the genuinely uncharged in-flight service.
-	charged    simtime.Duration
-	lastCharge simtime.Time
 	// detached marks an involuntarily handed-off slice: the record has been
 	// swapped out of its worker slot and its tenant out of the runnable set,
 	// and the closure is running on borrowed time until Complete.
@@ -951,7 +945,18 @@ type Dispatched struct {
 func (d *Dispatched) Tenant() *Tenant { return d.tn }
 
 // Slice returns the granted timeslice hint.
-func (d *Dispatched) Slice() simtime.Duration { return d.slice }
+func (d *Dispatched) Slice() simtime.Duration { return d.sl.Quantum }
+
+// SetDecisionRecorder attaches rec to one shard's dispatch engine. The
+// structural golden tests use it to capture the exact per-shard decision
+// trace; Record is invoked with the shard lock held, so recorders must not
+// re-enter the runtime.
+func (r *Runtime) SetDecisionRecorder(shard int, rec engine.Recorder) {
+	sh := r.shards[shard]
+	sh.mu.Lock()
+	sh.eng.SetRecorder(rec)
+	sh.mu.Unlock()
+}
 
 // Worker returns the worker index the slice was dispatched to.
 func (d *Dispatched) Worker() int { return d.worker }
@@ -1032,10 +1037,7 @@ func (d *Dispatched) completeLocked(done bool, now simtime.Time, post *postActio
 	}
 	d.inFlight = false
 	d.task = queued{} // release the closure; the slot outlives the slice
-	elapsed := now.Sub(d.start)
-	if elapsed < 0 {
-		elapsed = 0
-	}
+	elapsed := d.sl.Elapsed(now)
 	th := tn.th
 	if d.detached {
 		// Out-of-band completion of an involuntarily handed-off slice: the
@@ -1044,20 +1046,14 @@ func (d *Dispatched) completeLocked(done bool, now simtime.Time, post *postActio
 		// and charge the post-handoff overrun, so the time the hog kept
 		// burning after losing its lane is docked from its future
 		// entitlement; then fall through to the ordinary pop/close handling.
-		rem := elapsed - d.charged
-		if rem < 0 {
-			rem = 0
-		}
 		tn.detached = false
-		th.State = sched.Runnable
-		mustSched(sh.sch.Add(th, now))
+		mustSched(sh.eng.Admit(th, now))
 		tn.inSched = true
 		sh.nready.Add(1)
-		if rem > 0 {
-			sh.sch.Charge(th, rem, now)
-			sh.service += rem
+		if d.sl.Uncharged(now) > 0 {
+			sh.service += sh.eng.Settle(&d.sl, now, engine.NoCap)
 		}
-		if over := elapsed - d.slice; over > 0 {
+		if over := elapsed - d.sl.Quantum; over > 0 {
 			sh.overrunHist.Record(over)
 		}
 		if r.manual {
@@ -1077,15 +1073,11 @@ func (d *Dispatched) completeLocked(done bool, now simtime.Time, post *postActio
 		if d.armed {
 			sh.wheel.remove(d)
 		}
-		// Interim installments already accounted d.charged of the slice;
-		// with enforcement disarmed charged is always zero and this is the
-		// historical whole-slice charge, bit for bit.
-		charge := elapsed - d.charged
-		if charge < 0 {
-			charge = 0
-		}
-		sh.sch.Charge(th, charge, now)
-		sh.service += charge
+		// Settle the uncharged remainder through the engine: interim
+		// installments already advanced the slice's accounting; with
+		// enforcement disarmed nothing has, and this is the historical
+		// whole-slice charge, bit for bit.
+		sh.service += sh.eng.Settle(&d.sl, now, engine.NoCap)
 	}
 	if done {
 		tn.pop()
@@ -1096,12 +1088,11 @@ func (d *Dispatched) completeLocked(done bool, now simtime.Time, post *postActio
 		sh.dropBacklogLocked(tn)
 	}
 	if tn.n == 0 && tn.inSched {
+		st := sched.Blocked
 		if tn.closing {
-			th.State = sched.Exited
-		} else {
-			th.State = sched.Blocked
+			st = sched.Exited
 		}
-		mustSched(sh.sch.Remove(th, now))
+		mustSched(sh.eng.Depart(th, st, now))
 		tn.inSched = false
 		sh.nready.Add(-1)
 		if tn.closing {
@@ -1255,7 +1246,7 @@ func (r *Runtime) runTask(d *Dispatched) (done bool) {
 	if d.task.pre != nil {
 		return d.task.pre(SliceCtx{d: d})
 	}
-	return d.task.run(d.slice)
+	return d.task.run(d.sl.Quantum)
 }
 
 // decQueued retires n globally-queued tasks and wakes Drain when the last
@@ -1563,7 +1554,7 @@ func (r *Runtime) CheckInvariants() error {
 				sh.id, sh.weight, weight)
 		}
 		totalQueued += queued
-		if c, ok := sh.sch.(interface{ CheckInvariants() error }); ok {
+		if c, ok := sh.eng.Scheduler().(interface{ CheckInvariants() error }); ok {
 			if err := c.CheckInvariants(); err != nil {
 				return err
 			}

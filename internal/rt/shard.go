@@ -5,9 +5,11 @@
 // keeps the per-shard weight sums proportional to the per-shard processor
 // counts so the partitioned schedule tracks the single-queue one.
 //
-// A shard never names a concrete policy type: it drives sched.Scheduler and
-// keeps the optional capability views (vt, lag, frame) discovered once at
-// construction, nil when the policy does not provide them.
+// A shard never names a concrete policy type: it hosts an engine.Engine
+// wrapped around the policy, and every scheduling decision — admit, pick,
+// slice start, interim charge, settlement, departure — routes through that
+// engine, which also exposes the policy's optional capability views (VT,
+// Lag, Frame, Pre), nil when the policy does not provide them.
 
 package rt
 
@@ -16,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sfsched/internal/engine"
 	"sfsched/internal/metrics"
 	"sfsched/internal/sched"
 	"sfsched/internal/simtime"
@@ -30,18 +33,11 @@ type shard struct {
 	// mu serializes all scheduling on this shard — the per-shard equivalent
 	// of the kernel run-queue lock. It guards every field below and every
 	// mutable field of the tenants currently assigned here.
-	mu  sync.Mutex
-	sch sched.Scheduler
-	// Optional capability views of sch, nil when unimplemented: virtual
-	// time for metrics export, surplus reporting for migration ranking,
-	// frame translation for cross-shard moves, preemption ranking for
-	// wakeups.
-	vt       sched.VirtualTimer
-	lag      sched.LagReporter
-	frame    sched.FrameTranslator
-	pre      sched.Preempter
-	badd     sched.BatchAdder     // batch wakeup admission, nil when unimplemented
-	interim  sched.InterimCharger // mid-slice charging, nil when unimplemented
+	mu sync.Mutex
+	// eng is the shared decision core (internal/engine) wrapped around this
+	// shard's private policy instance: the same pick/charge/preempt/migrate
+	// code the simulated machine drives, here driven by the wall clock.
+	eng      *engine.Engine
 	byThread map[*sched.Thread]*Tenant
 	weight   float64          // Σ tenant weights: the shard's sub-share of the machine
 	queued   int              // queued tasks across this shard's tenants
@@ -228,7 +224,7 @@ func (sh *shard) absorbLocked(tn *Tenant, q queued, at, now simtime.Time) bool {
 // admitLocked admits one woken tenant: scheduler Add, then the single-wakeup
 // preemption check, exactly as the pre-intake locked submit path did.
 func (sh *shard) admitLocked(tn *Tenant, now simtime.Time) {
-	mustSched(sh.sch.Add(tn.th, now))
+	mustSched(sh.eng.Admit(tn.th, now))
 	tn.inSched = true
 	sh.nready.Add(1)
 	sh.maybePreemptLocked(tn, now)
@@ -238,18 +234,12 @@ func (sh *shard) admitLocked(tn *Tenant, now simtime.Time) {
 // (one readjustment pass) when the policy implements sched.BatchAdder, plain
 // Adds otherwise, then one batch-wide preemption pass.
 func (sh *shard) admitBatchLocked(woke []*Tenant, now simtime.Time) {
-	if sh.badd != nil {
-		ths := sh.thScratch[:0]
-		for _, tn := range woke {
-			ths = append(ths, tn.th)
-		}
-		mustSched(sh.badd.AddBatch(ths, now))
-		sh.thScratch = ths[:0]
-	} else {
-		for _, tn := range woke {
-			mustSched(sh.sch.Add(tn.th, now))
-		}
+	ths := sh.thScratch[:0]
+	for _, tn := range woke {
+		ths = append(ths, tn.th)
 	}
+	mustSched(sh.eng.AdmitBatch(ths, now))
+	sh.thScratch = ths[:0]
 	for _, tn := range woke {
 		tn.inSched = true
 	}
@@ -275,15 +265,17 @@ func (sh *shard) applyDirectLocked(tn *Tenant, q queued, at, now simtime.Time, p
 // flight (the Dispatch contract), so the hot path allocates nothing. now is
 // the caller's cached clock read for this lock hold.
 func (sh *shard) dispatchLocked(worker, local int, now simtime.Time) *Dispatched {
-	th := sh.sch.Pick(local, now)
+	th, err := sh.eng.Pick(local, now)
+	if err != nil {
+		panic(fmt.Errorf("rt: %w", err))
+	}
 	if th == nil {
 		return nil
 	}
 	tn := sh.byThread[th]
 	if tn == nil || tn.n == 0 {
-		panic(fmt.Sprintf("rt: scheduler picked %v with no queued work", th))
+		panic(fmt.Errorf("rt: %w: %v with no queued work", engine.ErrUnknownThread, th))
 	}
-	th.CPU = local
 	sh.running++
 	sh.nready.Add(-1)
 	// Latency accounting: ready→dispatch on every dispatch, wakeup→first
@@ -318,18 +310,17 @@ func (sh *shard) dispatchLocked(worker, local int, now simtime.Time) *Dispatched
 	d.tn = tn
 	d.worker = worker
 	d.local = local
-	d.start = now
-	d.slice = sh.sch.Timeslice(th, now)
+	if err := sh.eng.Begin(&d.sl, th, local, now, now); err != nil {
+		panic(fmt.Errorf("rt: %w", err))
+	}
 	d.task = tn.buf[tn.head]
 	d.inFlight = true
 	d.preempted.Store(false)
-	d.charged = 0
-	d.lastCharge = now
 	d.detached = false
 	d.activeIdx = len(sh.active)
 	sh.active = append(sh.active, d)
 	if sh.r.enforce {
-		sh.wheel.arm(d, d.start.Add(d.slice), sh.r.enforceTick)
+		sh.wheel.arm(d, d.sl.Start.Add(d.sl.Quantum), sh.r.enforceTick)
 	}
 	return d
 }
@@ -368,7 +359,7 @@ func (sh *shard) newSlotLocked() *Dispatched {
 // preemption order (time sharing, lottery), or when preemption is disabled.
 func (sh *shard) maybePreemptLocked(woken *Tenant, now simtime.Time) {
 	r := sh.r
-	if !r.preempt || sh.pre == nil || sh.running < sh.workers {
+	if !r.preempt || sh.eng.Pre == nil || sh.running < sh.workers {
 		return
 	}
 	var victim *Dispatched
@@ -379,13 +370,9 @@ func (sh *shard) maybePreemptLocked(woken *Tenant, now simtime.Time) {
 		}
 		// Project forward by only the *uncharged* in-flight service: with
 		// enforcement armed, interim installments have already advanced the
-		// tags up to lastCharge (disarmed, lastCharge is the dispatch start
+		// tags up to the last charge (disarmed, that is the dispatch start
 		// and this is the historical whole-slice projection).
-		ran := now.Sub(d.lastCharge)
-		if ran < 0 {
-			ran = 0
-		}
-		rank := sh.pre.PreemptRank(d.tn.th, ran)
+		rank := sh.eng.RankRunning(&d.sl, now)
 		// Ties break toward the lowest worker slot, matching the old
 		// ascending-index scan (the active list is in dispatch order, which
 		// differs under handoffs).
@@ -393,7 +380,7 @@ func (sh *shard) maybePreemptLocked(woken *Tenant, now simtime.Time) {
 			victim, worst = d, rank
 		}
 	}
-	if victim == nil || sh.pre.PreemptRank(woken.th, 0) >= worst {
+	if victim == nil || sh.eng.RankWoken(woken.th) >= worst {
 		return
 	}
 	victim.preempted.Store(true)
@@ -410,7 +397,7 @@ func (sh *shard) maybePreemptLocked(woken *Tenant, now simtime.Time) {
 // excludes them.
 func (sh *shard) preemptBatchLocked(woke []*Tenant, now simtime.Time) {
 	r := sh.r
-	if !r.preempt || sh.pre == nil || sh.running < sh.workers {
+	if !r.preempt || sh.eng.Pre == nil || sh.running < sh.workers {
 		return
 	}
 	ranks := sh.rankScratch[:0]
@@ -419,11 +406,7 @@ func (sh *shard) preemptBatchLocked(woke []*Tenant, now simtime.Time) {
 		if d.preempted.Load() {
 			continue
 		}
-		ran := now.Sub(d.lastCharge)
-		if ran < 0 {
-			ran = 0
-		}
-		ranks = append(ranks, sh.pre.PreemptRank(d.tn.th, ran))
+		ranks = append(ranks, sh.eng.RankRunning(&d.sl, now))
 		slots = append(slots, d)
 	}
 	for _, tn := range woke {
@@ -437,7 +420,7 @@ func (sh *shard) preemptBatchLocked(woke []*Tenant, now simtime.Time) {
 				worst = i
 			}
 		}
-		if sh.pre.PreemptRank(tn.th, 0) >= ranks[worst] {
+		if sh.eng.RankWoken(tn.th) >= ranks[worst] {
 			continue
 		}
 		victim := slots[worst]

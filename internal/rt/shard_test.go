@@ -1,10 +1,13 @@
 package rt_test
 
 // Tests of sharded dispatch: deterministic lockstep drivers on a FakeClock
-// exercise the per-shard runqueues, the rebalancer's migrations, and — the
-// acceptance check — a differential run pitting the sharded runtime against
-// the central-lock runtime (WithShards(1) ≡ Shards: 1) on the same workload,
-// bounding per-tenant divergence.
+// exercise the per-shard runqueues and the rebalancer's migrations. The
+// former statistical sharded-vs-central differential (an 8% per-tenant
+// service bound) is superseded by the exact per-shard decision-trace test in
+// structural_test.go (TestShardedDecisionTraceVsReplica); the one retained
+// statistical differential is TestStealDifferentialVsCentral in
+// steal_test.go, kept as a canary for workloads whose traces legitimately
+// diverge.
 
 import (
 	"sync"
@@ -115,51 +118,36 @@ func TestShardedProportionalShares(t *testing.T) {
 	}
 }
 
-// TestShardedDifferentialVsCentral is the acceptance check for sharded
-// dispatch: the same deterministic workload — including a mid-run weight
-// change that unbalances the shards and forces migrations — must yield
-// per-tenant CPU allocations within a bounded distance of the central-lock
-// (single-queue) runtime's.
-func TestShardedDifferentialVsCentral(t *testing.T) {
-	run := func(shards int) ([]simtime.Duration, int64) {
-		r, clock, tenants := newSharded(t, shards)
-		defer r.Close()
-		driveTicks(t, r, clock, tenants, 2000, 5*simtime.Millisecond, 64)
-		// Unbalance: the heaviest tenant drops to weight 1 (sub-shares now
-		// 7 vs 10); the rebalancer must move weight to re-converge.
-		if err := r.SetWeight(tenants[0], 1); err != nil {
-			t.Fatal(err)
-		}
-		driveTicks(t, r, clock, tenants, 4000, 5*simtime.Millisecond, 64)
-		if err := r.CheckInvariants(); err != nil {
-			t.Fatal(err)
-		}
-		services := make([]simtime.Duration, len(tenants))
-		for i, tn := range tenants {
-			services[i] = tn.Thread().Service
-		}
-		return services, r.Migrations()
+// TestShardedMigrationConverges pins the dynamic half of what the former
+// statistical differential covered: a mid-run weight change that unbalances
+// the shards must trigger migrations and re-converge the sub-shares, with
+// global proportionality intact afterward. (The static half — that a shard's
+// decisions equal an isolated replica's — is now exact, in
+// TestShardedDecisionTraceVsReplica.)
+func TestShardedMigrationConverges(t *testing.T) {
+	r, clock, tenants := newSharded(t, 2)
+	defer r.Close()
+	driveTicks(t, r, clock, tenants, 2000, 5*simtime.Millisecond, 64)
+	// Unbalance: the heaviest tenant drops to weight 1 (sub-shares now
+	// 7 vs 10); the rebalancer must move weight to re-converge.
+	if err := r.SetWeight(tenants[0], 1); err != nil {
+		t.Fatal(err)
 	}
-	central, cm := run(1)
-	sharded, sm := run(2)
-	if cm != 0 {
-		t.Fatalf("central runtime migrated %d tenants", cm)
+	driveTicks(t, r, clock, tenants, 4000, 5*simtime.Millisecond, 64)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
-	if sm == 0 {
+	if r.Migrations() == 0 {
 		t.Fatal("sharded runtime never migrated despite the weight change")
 	}
-	for i := range central {
-		c, s := central[i].Seconds(), sharded[i].Seconds()
-		if c <= 0 || s <= 0 {
-			t.Fatalf("tenant %d starved (central %v, sharded %v)", i, central[i], sharded[i])
-		}
-		diff := (s - c) / c
-		if diff < 0 {
-			diff = -diff
-		}
-		if diff > 0.08 {
-			t.Errorf("tenant %d diverges %.1f%% from the single-queue allocation (central %v, sharded %v)",
-				i, diff*100, central[i], sharded[i])
+	ss := r.ShardStats()
+	if d := ss[0].Weight - ss[1].Weight; d > 2 || d < -2 {
+		t.Fatalf("sub-shares %g/%g never re-converged after the weight change",
+			ss[0].Weight, ss[1].Weight)
+	}
+	for i, tn := range tenants {
+		if tn.Thread().Service <= 0 {
+			t.Fatalf("tenant %d starved across the migration", i)
 		}
 	}
 }

@@ -147,12 +147,7 @@ func (r *Runtime) trySteal(thief *shard) bool {
 // dispatched, deported or unregistered between the lock-free probe and the
 // lock acquisition.
 func (r *Runtime) stealFrom(victim, thief *shard) bool {
-	lo, hi := victim, thief
-	if hi.id < lo.id {
-		lo, hi = hi, lo
-	}
-	lo.mu.Lock()
-	hi.mu.Lock()
+	lockPair(victim, thief)
 	now := r.clock.Now()
 	postV := postActions{sh: victim}
 	postT := postActions{sh: thief}
@@ -169,10 +164,7 @@ func (r *Runtime) stealFrom(victim, thief *shard) bool {
 		if !tn.inSched || tn.closing || tn.gone || th.Running() || tn.detached || tn.waiters > 0 {
 			continue
 		}
-		surplus := 0.0
-		if victim.lag != nil {
-			surplus = victim.lag.FreshSurplus(th)
-		}
+		surplus := victim.eng.Surplus(th)
 		// Highest surplus wins — the re-entry costs it the least (§2.3: the
 		// wakeup rule forgives lead, never debt). Ties, and the whole scan
 		// under policies without a LagReporter, break to the lowest thread
@@ -183,8 +175,7 @@ func (r *Runtime) stealFrom(victim, thief *shard) bool {
 		}
 	}
 	if best == nil {
-		hi.mu.Unlock()
-		lo.mu.Unlock()
+		unlockPair(victim, thief)
 		postV.run(r)
 		postT.run(r)
 		return false
@@ -203,8 +194,7 @@ func (r *Runtime) stealFrom(victim, thief *shard) bool {
 	// Sweep the victim's ring for items published against the old binding
 	// while the transfer rebound it (same protocol as migrate's sweep).
 	r.sweepIntakeLocked(victim, thief, now, &postV, &postT)
-	hi.mu.Unlock()
-	lo.mu.Unlock()
+	unlockPair(victim, thief)
 	postV.run(r)
 	postT.run(r)
 	return true

@@ -306,11 +306,14 @@ func driveStealTicks(t *testing.T, r *rt.Runtime, clock *rt.FakeClock, tenants [
 }
 
 // TestStealDifferentialVsCentral is the fairness acceptance check for
-// stealing: the same deterministic workload — with periodic blocked windows
-// that drain one shard and force steals — must yield per-tenant allocations
-// within the same 8% distance of the single-queue oracle the sharded
-// differential already pins, with steals verifiably firing in the sharded
-// run.
+// stealing, and the one statistical differential deliberately retained now
+// that the golden tests assert exact decision-trace equality
+// (structural_test.go): steals make a shard's trace legitimately diverge
+// from any isolated replica, so a service bound is the strongest claim
+// available here — the same deterministic workload, with periodic blocked
+// windows that drain one shard and force steals, must yield per-tenant
+// allocations within 8% of the single-queue oracle, with steals verifiably
+// firing in the sharded run.
 func TestStealDifferentialVsCentral(t *testing.T) {
 	// shardedWeights places tenants {0,3,4,7} on shard 0; blocking exactly
 	// that set during the windows empties whichever shard holds them.
